@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per table or figure of the paper's evaluation."""

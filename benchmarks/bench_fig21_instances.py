@@ -1,0 +1,57 @@
+"""Fig. 21 / Lemma 4.1 — the SC and TSO instances of the framework.
+
+The paper instantiates its four axioms to obtain SC and TSO and proves
+(Lemma 4.1) that the instances coincide with the classic
+characterisations (``acyclic(po ∪ com)`` for SC, ``acyclic(ppo ∪ co ∪
+rfe ∪ fr ∪ fences)`` for TSO).  The benchmark validates the lemma
+execution-by-execution over a generated family and over the named tests,
+and also reproduces the canonical SC/TSO differences (sb allowed on TSO,
+forbidden on SC; mp forbidden on both).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.architectures import sc_architecture, tso_architecture
+from repro.core.model import Model
+from repro.core.reference import is_sc_reference, is_tso_reference
+from repro.diy.families import two_thread_family
+from repro.herd import candidate_executions, simulate
+from repro.litmus.registry import get_test
+
+
+def _check():
+    sc_model = Model(sc_architecture())
+    tso_model = Model(tso_architecture())
+    tests = two_thread_family("x86", limit=40) + [
+        get_test(name) for name in ("mp", "sb", "sb+mfences", "lb", "iriw", "coRR", "r", "s")
+    ]
+    executions = 0
+    disagreements = 0
+    for test in tests:
+        for candidate in candidate_executions(test):
+            executions += 1
+            if sc_model.allows(candidate.execution) != is_sc_reference(candidate.execution):
+                disagreements += 1
+            if tso_model.allows(candidate.execution) != is_tso_reference(candidate.execution):
+                disagreements += 1
+    verdicts = {
+        "sb/tso": simulate(get_test("sb"), "tso").verdict,
+        "sb/sc": simulate(get_test("sb"), "sc").verdict,
+        "mp/tso": simulate(get_test("mp"), "tso").verdict,
+        "sb+mfences/tso": simulate(get_test("sb+mfences"), "tso").verdict,
+    }
+    return executions, disagreements, verdicts
+
+
+def test_fig21_sc_tso_instances(benchmark):
+    executions, disagreements, verdicts = run_once(benchmark, _check)
+    benchmark.extra_info["executions"] = executions
+    benchmark.extra_info["verdicts"] = verdicts
+    assert disagreements == 0
+    assert verdicts == {
+        "sb/tso": "Allow",
+        "sb/sc": "Forbid",
+        "mp/tso": "Forbid",
+        "sb+mfences/tso": "Forbid",
+    }

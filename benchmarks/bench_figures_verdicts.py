@@ -1,0 +1,38 @@
+"""Figures 6-20, 27-36, 39 — the verdict of every named litmus diagram.
+
+The paper's figures each depict a litmus test together with its
+allowed/forbidden status under the relevant model.  This benchmark
+re-derives every one of those verdicts with the herd simulator and
+checks them against the statements in the paper (the registry's
+expectation table), timing the whole sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.herd import Simulator
+from repro.litmus.registry import entries
+
+
+def _sweep():
+    simulators = {}
+    rows = []
+    mismatches = []
+    for entry in entries():
+        test = entry.build()
+        for model_name, expected in sorted(entry.expectations.items()):
+            simulator = simulators.setdefault(model_name, Simulator(model_name))
+            verdict = simulator.run(test).verdict
+            rows.append((entry.figure, entry.name, model_name, verdict, expected))
+            if verdict != expected:
+                mismatches.append((entry.name, model_name, verdict, expected))
+    return rows, mismatches
+
+
+def test_figure_verdicts(benchmark):
+    rows, mismatches = run_once(benchmark, _sweep)
+    benchmark.extra_info["verdicts_checked"] = len(rows)
+    benchmark.extra_info["mismatches"] = len(mismatches)
+    # Every verdict stated by the paper is reproduced.
+    assert not mismatches, mismatches
+    assert len(rows) >= 100

@@ -1,0 +1,34 @@
+"""Tab. XIII — the mole census of PostgreSQL.
+
+The paper reports 22 patterns over 463 cycles for PostgreSQL, dominated
+by message-passing-like and coherence shapes.  Over the PostgreSQL
+miniature package the shape to reproduce is: the latch idiom shows up as
+``mp`` cycles classified under OBSERVATION, and the lwsync of the real
+code sits on the cycle's program-order edge.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.axioms import AXIOM_OBSERVATION
+from repro.mole import analyse_corpus, debian_corpus
+
+
+def _census():
+    corpus = debian_corpus()
+    return analyse_corpus({"postgresql": corpus["postgresql"]})["postgresql"]
+
+
+def test_table13_mole_postgresql(benchmark):
+    report = run_once(benchmark, _census)
+    benchmark.extra_info["patterns"] = report.patterns()
+    benchmark.extra_info["axioms"] = report.axioms()
+
+    patterns = report.patterns()
+    assert report.num_cycles >= 2
+    assert "mp" in patterns
+    assert report.axioms().get(AXIOM_OBSERVATION, 0) >= 1
+    # The fences of the real idiom are attached to the cycles mole reports.
+    assert any(
+        any("lwsync" in fences for fences in cycle.fences) for cycle in report.cycles
+    )

@@ -1,0 +1,52 @@
+"""Tab. XIV (and the Apache census of Sec. 9) — mole on RCU and Apache.
+
+The paper finds 9 patterns over 23 critical cycles plus one
+SC-per-location cycle in RCU, and for Apache 5 patterns (mp, s and the
+coWR/coRW shapes).  The shape reproduced here: both packages contain
+message-passing cycles classified under OBSERVATION, the corpus-wide
+census is dominated by mp-like idioms, and SC-per-location cycles
+appear in the packages that poke one location from several threads.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.axioms import AXIOM_OBSERVATION, AXIOM_SC_PER_LOCATION
+from repro.mole import analyse_corpus, debian_corpus
+
+
+def _census():
+    corpus = debian_corpus()
+    reports = analyse_corpus(corpus)
+    return reports
+
+
+def test_table14_mole_rcu_and_apache(benchmark):
+    reports = run_once(benchmark, _census)
+    benchmark.extra_info["rcu"] = reports["linux-rcu"].patterns()
+    benchmark.extra_info["apache"] = reports["apache2"].patterns()
+    benchmark.extra_info["corpus_axioms"] = {
+        package: report.axioms() for package, report in sorted(reports.items())
+    }
+
+    rcu = reports["linux-rcu"]
+    apache = reports["apache2"]
+    assert "mp" in rcu.patterns()
+    assert "mp" in apache.patterns()
+    assert rcu.axioms().get(AXIOM_OBSERVATION, 0) >= 1
+    assert apache.axioms().get(AXIOM_OBSERVATION, 0) >= 1
+
+    # Corpus-wide: mp is the dominant critical-cycle idiom, and the
+    # SC-per-location shapes show up in the counter/lock packages.
+    total_patterns = {}
+    total_axioms = {}
+    for report in reports.values():
+        for name, count in report.patterns().items():
+            total_patterns[name] = total_patterns.get(name, 0) + count
+        for axiom, count in report.axioms().items():
+            total_axioms[axiom] = total_axioms.get(axiom, 0) + count
+    critical_counts = {
+        name: count for name, count in total_patterns.items() if not name.startswith("co")
+    }
+    assert critical_counts.get("mp", 0) == max(critical_counts.values())
+    assert total_axioms.get(AXIOM_SC_PER_LOCATION, 0) >= 1

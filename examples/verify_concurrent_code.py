@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Verify concurrent systems code under weak memory (Sec. 8.4) and place fences.
+
+This example uses the bounded model checker on the paper's three case
+studies — the PostgreSQL latch idiom, Linux RCU and the Apache queue —
+plus Dekker-style mutual exclusion:
+
+* with the fences/dependencies the real code uses, every assertion holds
+  under the Power model;
+* strip them and the checker produces a counterexample execution, whose
+  shape tells you (via the axioms, Sec. 4.7) which fence to insert.
+
+Run with::
+
+    python examples/verify_concurrent_code.py
+"""
+
+from repro.verification import all_examples, verify_program
+from repro.verification.examples import dekker_example
+
+
+def report(program, model="power") -> None:
+    result = verify_program(program, model)
+    print(f"  {result.describe()}")
+    if not result.safe and result.counterexample is not None:
+        execution = result.counterexample.execution
+        reads = ", ".join(
+            f"{event.eid}:{event.action}" for event in sorted(execution.reads)
+        )
+        print(f"    counterexample reads: {reads}")
+
+
+def main() -> None:
+    print("== the paper's case studies, as shipped (fenced) — Tab. XII")
+    for program in all_examples(fenced=True):
+        report(program)
+    print()
+
+    print("== the same idioms with fences and dependencies removed")
+    for program in all_examples(fenced=False):
+        report(program)
+    report(dekker_example(fenced=False))
+    print()
+
+    print("== fence placement, guided by the axioms (Sec. 4.7)")
+    print("  message-passing shapes (PgSQL, RCU, Apache) violate OBSERVATION when")
+    print("  unfenced: a lightweight fence on the writer plus a dependency or")
+    print("  control+isync on the reader restores safety.")
+    for program in all_examples(fenced=True):
+        result = verify_program(program, "power")
+        print(f"    {program.name:8s} fenced again -> {'SAFE' if result.safe else 'UNSAFE'}")
+    print("  store-buffering shapes (Dekker) violate PROPAGATION: only full fences help.")
+    result = verify_program(dekker_example(fenced=True), "power")
+    print(f"    Dekker with sync on both sides -> {'SAFE' if result.safe else 'UNSAFE'}")
+    print()
+
+    print("== everything is safe under Sequential Consistency, fences or not")
+    for program in all_examples(fenced=False):
+        result = verify_program(program, "sc")
+        print(f"    {program.name:18s} under SC -> {'SAFE' if result.safe else 'UNSAFE'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs keep working with older setuptools/pip stacks that
+lack PEP 660 support (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

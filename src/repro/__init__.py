@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Herding cats: modelling, simulation, testing,
+and data-mining for weak memory" (Alglave, Maranget, Tautschnig, 2014).
+
+The package is organised around the paper's artefacts:
+
+* :mod:`repro.core` — the generic axiomatic framework (events, relations,
+  candidate executions, the four axioms) and its SC / TSO / C++ R-A /
+  Power / ARM instances;
+* :mod:`repro.cat` — the cat model-description language and its interpreter;
+* :mod:`repro.litmus` — the pseudo-ISA, instruction semantics, litmus
+  format parser and the paper's named tests;
+* :mod:`repro.herd` — the herd simulator;
+* :mod:`repro.diy` — litmus test generation from cycles of relaxations;
+* :mod:`repro.operational` — the intermediate machine of Sec. 7 and the
+  PLDI-2011 comparison machine;
+* :mod:`repro.multi_event` — the multi-event axiomatic model used as a
+  simulation-speed baseline;
+* :mod:`repro.hardware` — simulated Power and ARM chips with documented
+  errata, and the litmus testing campaign harness;
+* :mod:`repro.verification` — a bounded model-checking substrate for
+  concurrent C-like programs under weak memory models;
+* :mod:`repro.mole` — the static critical-cycle analyser and its corpus.
+
+Quick start::
+
+    from repro.litmus.registry import get_test
+    from repro.herd import simulate
+
+    result = simulate(get_test("mp+lwsync+addr"), "power")
+    print(result.verdict)        # "Forbid"
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

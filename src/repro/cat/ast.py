@@ -1,0 +1,121 @@
+"""Abstract syntax of the cat language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+
+class Expr:
+    """Base class of relation expressions."""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named relation (built-in or let-bound)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EmptyRel(Expr):
+    """The literal ``0`` — the empty relation."""
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Intersection(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Sequence(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class TransitiveClosure(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class ReflexiveTransitiveClosure(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Optional_(Expr):
+    """``e?`` — reflexive closure."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Inverse(Expr):
+    """``e^-1``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class DirectionFilter(Expr):
+    """``WW(e)``, ``RM(e)``, ... restriction of a relation by endpoint directions.
+
+    ``source`` and ``target`` are ``"R"``, ``"W"`` or ``"M"`` (any memory event).
+    """
+
+    source: str
+    target: str
+    operand: Expr
+
+
+class Statement:
+    """Base class of top-level statements."""
+
+
+@dataclass(frozen=True)
+class Let(Statement):
+    """``let name = expr`` (non-recursive)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class LetRec(Statement):
+    """``let rec n1 = e1 and n2 = e2 ...`` — mutually recursive definitions."""
+
+    bindings: Tuple[Tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class Check(Statement):
+    """``acyclic e [as name]``, ``irreflexive e [as name]`` or ``empty e [as name]``."""
+
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    expr: Expr
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CatProgram:
+    """A parsed cat model: its (optional) title and its statements."""
+
+    name: str
+    statements: Tuple[Statement, ...]
+
+    def checks(self) -> Tuple[Check, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Check))

@@ -1,0 +1,117 @@
+"""Tokeniser for the cat language.
+
+Identifiers may contain letters, digits, ``_``, ``-`` and ``.`` (for
+``po-loc``, ``prop-base``, ``dmb.st``...), and the two composite names
+``ctrl+isync`` and ``ctrl+isb`` are recognised as single identifiers so
+that models can be written exactly as in Fig. 38.
+
+Comments are OCaml-style ``(* ... *)`` (nesting supported) and line
+comments starting with ``//`` or ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class CatSyntaxError(ValueError):
+    """Raised on malformed cat input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+
+KEYWORDS = {"let", "rec", "and", "as", "acyclic", "irreflexive", "empty"}
+
+_COMPOSITE_IDENTIFIERS = ("ctrl+isync", "ctrl+isb")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<newline>\n)
+  | (?P<linecomment>(//|\#)[^\n]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<zero>0)
+  | (?P<inverse>\^-1)
+  | (?P<op>[|&;\\+*?()=])
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_block_comments(source: str) -> str:
+    """Remove (possibly nested) ``(* ... *)`` comments, preserving newlines."""
+    result: List[str] = []
+    depth = 0
+    index = 0
+    while index < len(source):
+        two = source[index : index + 2]
+        if two == "(*":
+            depth += 1
+            index += 2
+            continue
+        if two == "*)" and depth > 0:
+            depth -= 1
+            index += 2
+            continue
+        char = source[index]
+        if depth == 0:
+            result.append(char)
+        elif char == "\n":
+            result.append("\n")
+        index += 1
+    if depth != 0:
+        raise CatSyntaxError("unterminated (* comment")
+    return "".join(result)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn cat source text into a token list (newlines become NEWLINE tokens)."""
+    source = _strip_block_comments(source)
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    while index < len(source):
+        matched_composite = False
+        for composite in _COMPOSITE_IDENTIFIERS:
+            if source.startswith(composite, index):
+                tokens.append(Token("IDENT", composite, line))
+                index += len(composite)
+                matched_composite = True
+                break
+        if matched_composite:
+            continue
+
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise CatSyntaxError(f"line {line}: unexpected character {source[index]!r}")
+        index = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws" or kind == "linecomment":
+            continue
+        if kind == "newline":
+            tokens.append(Token("NEWLINE", "\n", line))
+            line += 1
+            continue
+        if kind == "ident":
+            if text in KEYWORDS:
+                tokens.append(Token(text.upper(), text, line))
+            else:
+                tokens.append(Token("IDENT", text, line))
+            continue
+        if kind == "zero":
+            tokens.append(Token("ZERO", text, line))
+            continue
+        if kind == "inverse":
+            tokens.append(Token("INVERSE", text, line))
+            continue
+        tokens.append(Token(text, text, line))
+    tokens.append(Token("EOF", "", line))
+    return tokens

@@ -1,0 +1,192 @@
+"""Recursive-descent parser for the cat language.
+
+Grammar (in decreasing binding strength)::
+
+    atom     := IDENT | 0 | '(' union ')' | DIR '(' union ')'
+    postfix  := atom ('+' | '*' | '?' | '^-1')*
+    seqexpr  := postfix (';' postfix)*
+    conj     := seqexpr (('&' | '\\') seqexpr)*
+    union    := conj ('|' conj)*
+
+    statement := 'let' 'rec'? IDENT '=' union ('and' IDENT '=' union)*
+               | ('acyclic' | 'irreflexive' | 'empty') union ('as' IDENT)?
+
+Direction filters are the identifiers ``WW``, ``WR``, ``RW``, ``RR``,
+``RM``, ``WM``, ``MR``, ``MW``, ``MM`` applied like functions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cat import ast
+from repro.cat.lexer import CatSyntaxError, Token, tokenize
+
+_DIRECTION_FILTERS = {"WW", "WR", "RW", "RR", "RM", "WM", "MR", "MW", "MM"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = self.position + offset
+        return self.tokens[min(index, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise CatSyntaxError(
+                f"line {token.line}: expected {kind}, found {token.kind} ({token.value!r})"
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == "NEWLINE":
+            self.advance()
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_union(self) -> ast.Expr:
+        left = self.parse_conj()
+        while self.peek().kind == "|":
+            self.advance()
+            self.skip_newlines()
+            right = self.parse_conj()
+            left = ast.Union(left, right)
+        return left
+
+    def parse_conj(self) -> ast.Expr:
+        left = self.parse_seq()
+        while self.peek().kind in ("&", "\\"):
+            operator = self.advance().kind
+            self.skip_newlines()
+            right = self.parse_seq()
+            left = ast.Intersection(left, right) if operator == "&" else ast.Difference(left, right)
+        return left
+
+    def parse_seq(self) -> ast.Expr:
+        left = self.parse_postfix()
+        while self.peek().kind == ";":
+            self.advance()
+            self.skip_newlines()
+            right = self.parse_postfix()
+            left = ast.Sequence(left, right)
+        return left
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_atom()
+        while True:
+            kind = self.peek().kind
+            if kind == "+":
+                self.advance()
+                expr = ast.TransitiveClosure(expr)
+            elif kind == "*":
+                self.advance()
+                expr = ast.ReflexiveTransitiveClosure(expr)
+            elif kind == "?":
+                self.advance()
+                expr = ast.Optional_(expr)
+            elif kind == "INVERSE":
+                self.advance()
+                expr = ast.Inverse(expr)
+            else:
+                return expr
+
+    def parse_atom(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "ZERO":
+            self.advance()
+            return ast.EmptyRel()
+        if token.kind == "(":
+            self.advance()
+            self.skip_newlines()
+            expr = self.parse_union()
+            self.skip_newlines()
+            self.expect(")")
+            return expr
+        if token.kind == "IDENT":
+            name = self.advance().value
+            if name in _DIRECTION_FILTERS and self.peek().kind == "(":
+                self.advance()
+                self.skip_newlines()
+                operand = self.parse_union()
+                self.skip_newlines()
+                self.expect(")")
+                return ast.DirectionFilter(name[0], name[1], operand)
+            return ast.Var(name)
+        raise CatSyntaxError(
+            f"line {token.line}: unexpected token {token.kind} ({token.value!r})"
+        )
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_let(self) -> ast.Statement:
+        self.expect("LET")
+        recursive = False
+        if self.peek().kind == "REC":
+            self.advance()
+            recursive = True
+        bindings: List[Tuple[str, ast.Expr]] = []
+        while True:
+            name = self.expect("IDENT").value
+            self.expect("=")
+            self.skip_newlines()
+            expr = self.parse_union()
+            bindings.append((name, expr))
+            self.skip_newlines()
+            if self.peek().kind == "AND":
+                self.advance()
+                self.skip_newlines()
+                continue
+            break
+        if recursive or len(bindings) > 1:
+            return ast.LetRec(tuple(bindings))
+        return ast.Let(bindings[0][0], bindings[0][1])
+
+    def parse_check(self) -> ast.Check:
+        kind = self.advance().kind.lower()
+        expr = self.parse_union()
+        name: Optional[str] = None
+        if self.peek().kind == "AS":
+            self.advance()
+            name = self.expect("IDENT").value
+        return ast.Check(kind, expr, name)
+
+    def parse_program(self, name: str) -> ast.CatProgram:
+        statements: List[ast.Statement] = []
+        self.skip_newlines()
+        # An optional leading model name (a bare identifier line).
+        if (
+            self.peek().kind == "IDENT"
+            and self.peek(1).kind in ("NEWLINE", "EOF")
+            and self.peek().value not in _DIRECTION_FILTERS
+        ):
+            name = self.advance().value
+            self.skip_newlines()
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "LET":
+                statements.append(self.parse_let())
+            elif token.kind in ("ACYCLIC", "IRREFLEXIVE", "EMPTY"):
+                statements.append(self.parse_check())
+            else:
+                raise CatSyntaxError(
+                    f"line {token.line}: expected a statement, found {token.value!r}"
+                )
+            self.skip_newlines()
+        return ast.CatProgram(name=name, statements=tuple(statements))
+
+
+def parse_cat(source: str, name: str = "cat-model") -> ast.CatProgram:
+    """Parse cat source text into a :class:`~repro.cat.ast.CatProgram`."""
+    return _Parser(tokenize(source)).parse_program(name)

@@ -1,0 +1,47 @@
+"""The cat models shipped with the library.
+
+``power.cat`` is the model of Fig. 38; the others are the instances of
+Fig. 21 and Tab. VII written in the same language.  The test-suite
+checks that each file is *verdict-equivalent* to the corresponding
+built-in architecture on the paper's named tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.cat.interpreter import CatModel, load_cat_model
+
+_MODELS_DIR = os.path.join(os.path.dirname(__file__), "models")
+
+#: cat file name per model name.
+_BUILTIN_FILES: Dict[str, str] = {
+    "sc": "sc.cat",
+    "tso": "tso.cat",
+    "cpp-ra": "cpp-ra.cat",
+    "power": "power.cat",
+    "power-arm": "power-arm.cat",
+    "arm": "arm.cat",
+    "arm-llh": "arm-llh.cat",
+}
+
+
+def builtin_model_names() -> Tuple[str, ...]:
+    """Names of the models shipped as .cat files."""
+    return tuple(sorted(_BUILTIN_FILES))
+
+
+def builtin_model_source(name: str) -> str:
+    """The cat source text of a shipped model."""
+    if name not in _BUILTIN_FILES:
+        known = ", ".join(builtin_model_names())
+        raise KeyError(f"unknown cat model {name!r}; known: {known}")
+    path = os.path.join(_MODELS_DIR, _BUILTIN_FILES[name])
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def load_builtin_model(name: str) -> CatModel:
+    """Load one of the shipped cat models by name."""
+    return load_cat_model(builtin_model_source(name), name=name)

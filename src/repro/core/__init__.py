@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the generic axiomatic framework.
+
+The central objects are
+
+* :class:`repro.core.events.Event` — memory/register/branch/fence events;
+* :class:`repro.core.relation.Relation` — the relation algebra used by the
+  axioms (union, intersection, sequence, closures, direction restriction);
+* :class:`repro.core.execution.Execution` — a candidate execution
+  ``(E, po, rf, co)`` with its derived relations (fr, com, po-loc, ...);
+* :class:`repro.core.model.Architecture` / :class:`repro.core.model.Model` —
+  an architecture ``(ppo, fences, prop)`` and the four axioms of Fig. 5;
+* :mod:`repro.core.architectures` — the SC, TSO, C++ R-A, Power, ARM and
+  ARM-llh instances of the framework, plus the PLDI-2011 comparison variant.
+"""
+
+from repro.core.events import (
+    Event,
+    Action,
+    MemoryRead,
+    MemoryWrite,
+    RegisterRead,
+    RegisterWrite,
+    BranchEvent,
+    FenceEvent,
+)
+from repro.core.relation import Relation
+from repro.core.execution import Execution
+from repro.core.model import Architecture, Model, CheckResult, AxiomViolation
+from repro.core.axioms import (
+    AXIOM_SC_PER_LOCATION,
+    AXIOM_NO_THIN_AIR,
+    AXIOM_OBSERVATION,
+    AXIOM_PROPAGATION,
+)
+from repro.core.architectures import (
+    sc_architecture,
+    tso_architecture,
+    cpp_ra_architecture,
+    power_architecture,
+    arm_architecture,
+    arm_llh_architecture,
+    pldi2011_architecture,
+    get_architecture,
+    ARCHITECTURES,
+)
+
+__all__ = [
+    "Event",
+    "Action",
+    "MemoryRead",
+    "MemoryWrite",
+    "RegisterRead",
+    "RegisterWrite",
+    "BranchEvent",
+    "FenceEvent",
+    "Relation",
+    "Execution",
+    "Architecture",
+    "Model",
+    "CheckResult",
+    "AxiomViolation",
+    "AXIOM_SC_PER_LOCATION",
+    "AXIOM_NO_THIN_AIR",
+    "AXIOM_OBSERVATION",
+    "AXIOM_PROPAGATION",
+    "sc_architecture",
+    "tso_architecture",
+    "cpp_ra_architecture",
+    "power_architecture",
+    "arm_architecture",
+    "arm_llh_architecture",
+    "pldi2011_architecture",
+    "get_architecture",
+    "ARCHITECTURES",
+]

@@ -1,0 +1,133 @@
+"""The preserved program order of Power and ARM (Fig. 25).
+
+The definition distinguishes two parts of every memory event — its
+*init* part and its *commit* part — and defines four mutually recursive
+relations with a least-fixpoint semantics:
+
+* ``ii`` relates init parts to init parts,
+* ``ic`` init to commit,
+* ``ci`` commit to init,
+* ``cc`` commit to commit.
+
+The base cases are (Fig. 25)::
+
+    dp      = addr | data
+    rdw     = po-loc & (fre; rfe)
+    detour  = po-loc & (coe; rfe)
+    ii0     = dp | rdw | rfi
+    ic0     = 0
+    ci0     = ctrl+cfence | detour
+    cc0     = dp | po-loc | ctrl | (addr; po)        (Power)
+    cc0     = dp | ctrl | (addr; po)                 (proposed ARM, Tab. VII)
+
+and the fixpoint equations::
+
+    ii = ii0 | ci | (ic; ci) | (ii; ii)
+    ic = ic0 | ii | cc | (ic; cc) | (ii; ic)
+    ci = ci0 | (ci; ii) | (cc; ci)
+    cc = cc0 | ci | (ci; ic) | (cc; cc)
+
+Finally ``ppo = (ii ∩ RR) ∪ (ic ∩ RW)``.
+
+The module also provides the "static" variant discussed at the end of
+Sec. 8.2 (``rdw`` removed from ``ii0`` and ``detour`` removed from
+``ci0``), used by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.execution import Execution
+from repro.core.relation import Relation
+
+
+@dataclass(frozen=True)
+class PpoComponents:
+    """The fixpoint solution; useful for debugging and for tests."""
+
+    ii: Relation
+    ic: Relation
+    ci: Relation
+    cc: Relation
+    ppo: Relation
+
+
+def _fixpoint(
+    ii0: Relation, ic0: Relation, ci0: Relation, cc0: Relation
+) -> Tuple[Relation, Relation, Relation, Relation]:
+    """Least fixpoint of the four recursive equations of Fig. 25."""
+    ii, ic, ci, cc = ii0, ic0, ci0, cc0
+    while True:
+        new_ii = ii0 | ci | ic.seq(ci) | ii.seq(ii)
+        new_ic = ic0 | ii | cc | ic.seq(cc) | ii.seq(ic)
+        new_ci = ci0 | ci.seq(ii) | cc.seq(ci)
+        new_cc = cc0 | ci | ci.seq(ic) | cc.seq(cc)
+        if (new_ii, new_ic, new_ci, new_cc) == (ii, ic, ci, cc):
+            return ii, ic, ci, cc
+        ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
+
+
+def ppo_components(
+    execution: Execution,
+    include_po_loc_in_cc0: bool = True,
+    include_rdw: bool = True,
+    include_detour: bool = True,
+) -> PpoComponents:
+    """Compute the ii/ic/ci/cc fixpoint and the resulting ppo.
+
+    Parameters
+    ----------
+    include_po_loc_in_cc0:
+        True for Power (and the "Power-ARM" model); False for the
+        proposed ARM model of Tab. VII, which removes ``po-loc`` from
+        ``cc0`` to account for the early-commit behaviours of Fig. 32/33.
+    include_rdw / include_detour:
+        Setting either to False gives the "more static" ppo variant
+        discussed at the end of Sec. 8.2.
+    """
+    dp = execution.dp
+    rdw = execution.rdw if include_rdw else Relation()
+    detour = execution.detour if include_detour else Relation()
+
+    ii0 = dp | rdw | execution.rfi
+    ic0 = Relation()
+    ci0 = execution.ctrl_cfence | detour
+    cc0 = dp | execution.ctrl | execution.addr.seq(execution.po)
+    if include_po_loc_in_cc0:
+        cc0 = cc0 | execution.po_loc
+
+    ii, ic, ci, cc = _fixpoint(ii0, ic0, ci0, cc0)
+    ppo = execution.restrict_rr(ii) | execution.restrict_rw(ic)
+    return PpoComponents(ii=ii, ic=ic, ci=ci, cc=cc, ppo=ppo)
+
+
+def power_ppo(execution: Execution) -> Relation:
+    """Preserved program order for Power (Fig. 25)."""
+    return ppo_components(execution, include_po_loc_in_cc0=True).ppo
+
+
+def arm_ppo(execution: Execution) -> Relation:
+    """Preserved program order for the proposed ARM model (Tab. VII)."""
+    return ppo_components(execution, include_po_loc_in_cc0=False).ppo
+
+
+def static_power_ppo(execution: Execution) -> Relation:
+    """Ablation: Power ppo without the dynamic rdw/detour components."""
+    return ppo_components(
+        execution,
+        include_po_loc_in_cc0=True,
+        include_rdw=False,
+        include_detour=False,
+    ).ppo
+
+
+def static_arm_ppo(execution: Execution) -> Relation:
+    """Ablation: ARM ppo without the dynamic rdw/detour components."""
+    return ppo_components(
+        execution,
+        include_po_loc_in_cc0=False,
+        include_rdw=False,
+        include_detour=False,
+    ).ppo

@@ -1,0 +1,253 @@
+"""Relation algebra over events (the notation of Sec. 4.1).
+
+A :class:`Relation` wraps a frozen set of ``(Event, Event)`` pairs and
+provides the operators used throughout the paper and the cat language:
+
+====================  =======================================
+paper / cat notation  Relation method or operator
+====================  =======================================
+``r1 ∪ r2`` / ``|``   ``r1 | r2``
+``r1 ∩ r2`` / ``&``   ``r1 & r2``
+``r1 \\ r2``          ``r1 - r2``
+``r1; r2``            ``r1 @ r2``  (or ``r1.seq(r2)``)
+``r+``                ``r.transitive_closure()`` (``r.plus()``)
+``r*``                ``r.reflexive_transitive_closure(events)`` (``r.star()``)
+``r^-1``              ``r.inverse()``
+``acyclic(r)``        ``r.is_acyclic()``
+``irreflexive(r)``    ``r.is_irreflexive()``
+``WR(r)`` etc.        ``r.restrict(writes, reads)`` / helpers in Execution
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from repro.util import digraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.events import Event
+
+Pair = Tuple["Event", "Event"]
+
+
+class Relation:
+    """An immutable binary relation over events."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Relation":
+        return _EMPTY
+
+    @classmethod
+    def identity(cls, events: Iterable["Event"]) -> "Relation":
+        return cls((e, e) for e in events)
+
+    @classmethod
+    def from_order(cls, ordered: Iterable["Event"]) -> "Relation":
+        """Total order relation of a sequence: every earlier→later pair."""
+        items = list(ordered)
+        return cls(
+            (items[i], items[j])
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    @classmethod
+    def cartesian(cls, sources: Iterable["Event"], targets: Iterable["Event"]) -> "Relation":
+        targets = list(targets)
+        return cls((s, t) for s in sources for t in targets if s != t)
+
+    # -- basic protocol ----------------------------------------------------------
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._pairs == other._pairs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self._pairs)} pairs)"
+
+    # -- set algebra -------------------------------------------------------------
+
+    def __or__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs | other._pairs)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs & other._pairs)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs - other._pairs)
+
+    def union(self, *others: "Relation") -> "Relation":
+        pairs: Set[Pair] = set(self._pairs)
+        for other in others:
+            pairs |= other._pairs
+        return Relation(pairs)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        return self & other
+
+    def difference(self, other: "Relation") -> "Relation":
+        return self - other
+
+    # -- relational composition --------------------------------------------------
+
+    def seq(self, other: "Relation") -> "Relation":
+        """Relational sequence ``self; other``."""
+        by_source: dict = {}
+        for src, dst in other._pairs:
+            by_source.setdefault(src, []).append(dst)
+        result: Set[Pair] = set()
+        for src, mid in self._pairs:
+            for dst in by_source.get(mid, ()):
+                result.add((src, dst))
+        return Relation(result)
+
+    def __matmul__(self, other: "Relation") -> "Relation":
+        return self.seq(other)
+
+    def inverse(self) -> "Relation":
+        return Relation((dst, src) for src, dst in self._pairs)
+
+    def transitive_closure(self) -> "Relation":
+        return Relation(digraph.transitive_closure(self._pairs))
+
+    def plus(self) -> "Relation":
+        """Alias for :meth:`transitive_closure` (the paper's ``r+``)."""
+        return self.transitive_closure()
+
+    def reflexive_transitive_closure(self, events: Iterable["Event"] = ()) -> "Relation":
+        return Relation(digraph.reflexive_transitive_closure(self._pairs, events))
+
+    def star(self, events: Iterable["Event"] = ()) -> "Relation":
+        """Alias for :meth:`reflexive_transitive_closure` (the paper's ``r*``)."""
+        return self.reflexive_transitive_closure(events)
+
+    def optional(self, events: Iterable["Event"] = ()) -> "Relation":
+        """Reflexive closure ``r?`` (identity over *events* plus r)."""
+        return self | Relation.identity(events)
+
+    # -- restriction -------------------------------------------------------------
+
+    def restrict(
+        self,
+        sources: Optional[AbstractSet["Event"]] = None,
+        targets: Optional[AbstractSet["Event"]] = None,
+    ) -> "Relation":
+        """Keep pairs whose source/target lie in the given event sets."""
+        result = []
+        for src, dst in self._pairs:
+            if sources is not None and src not in sources:
+                continue
+            if targets is not None and dst not in targets:
+                continue
+            result.append((src, dst))
+        return Relation(result)
+
+    def filter(self, predicate: Callable[["Event", "Event"], bool]) -> "Relation":
+        return Relation((s, t) for s, t in self._pairs if predicate(s, t))
+
+    def internal(self) -> "Relation":
+        """Pairs whose events belong to the same thread."""
+        return self.filter(lambda s, t: s.thread == t.thread)
+
+    def external(self) -> "Relation":
+        """Pairs whose events belong to distinct threads."""
+        return self.filter(lambda s, t: s.thread != t.thread)
+
+    def same_location(self) -> "Relation":
+        return self.filter(
+            lambda s, t: s.location is not None and s.location == t.location
+        )
+
+    # -- predicates --------------------------------------------------------------
+
+    def is_irreflexive(self) -> bool:
+        return all(src != dst for src, dst in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        return digraph.is_acyclic(self._pairs)
+
+    def find_cycle(self) -> Optional[List["Event"]]:
+        return digraph.find_cycle(self._pairs)
+
+    def is_transitive(self) -> bool:
+        return self.transitive_closure() == self
+
+    def is_total_over(self, events: Iterable["Event"]) -> bool:
+        """True iff the relation totally orders *events* (a strict total order)."""
+        events = list(events)
+        if not self.is_acyclic():
+            return False
+        for i, left in enumerate(events):
+            for right in events[i + 1:]:
+                closure = self.transitive_closure()
+                if (left, right) not in closure and (right, left) not in closure:
+                    return False
+        return True
+
+    # -- projections -------------------------------------------------------------
+
+    def domain(self) -> FrozenSet["Event"]:
+        return frozenset(src for src, _ in self._pairs)
+
+    def range(self) -> FrozenSet["Event"]:
+        return frozenset(dst for _, dst in self._pairs)
+
+    def events(self) -> FrozenSet["Event"]:
+        """Union of domain and range (the paper's ``udr(r)``)."""
+        result: Set["Event"] = set()
+        for src, dst in self._pairs:
+            result.add(src)
+            result.add(dst)
+        return frozenset(result)
+
+    def successors(self, event: "Event") -> FrozenSet["Event"]:
+        return frozenset(dst for src, dst in self._pairs if src == event)
+
+    def predecessors(self, event: "Event") -> FrozenSet["Event"]:
+        return frozenset(src for src, dst in self._pairs if dst == event)
+
+    def to_sorted_list(self) -> List[Pair]:
+        """Deterministic listing of the pairs (for display and tests)."""
+        return sorted(self._pairs, key=lambda p: (p[0], p[1]))
+
+
+_EMPTY = Relation()

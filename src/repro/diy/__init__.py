@@ -1,0 +1,40 @@
+"""diy-style litmus test generation (Sec. 8.1).
+
+The diy tool generates litmus tests from *cycles of relaxations*: each
+edge of the cycle is either a communication edge (read-from, from-read,
+coherence; external or internal) or a program-order edge on one thread
+(plain po, fenced, or dependency-carrying).  A cycle that alternates
+communications and per-thread segments is a *critical cycle*
+(Sec. 9.1.2); the generated test asks whether the cycle can actually be
+executed, i.e. whether the corresponding final state is observable.
+
+* :mod:`repro.diy.cycles` — the edge vocabulary and cycle well-formedness;
+* :mod:`repro.diy.generator` — cycle -> :class:`repro.litmus.ast.LitmusTest`;
+* :mod:`repro.diy.naming` — the naming convention of Tab. III;
+* :mod:`repro.diy.families` — systematic families of tests (used for the
+  hardware campaign of Tab. V and the tool comparisons of Tab. IX-XI).
+"""
+
+from repro.diy.cycles import Edge, Cycle, po, fenced, dep, rfe, fre, coe, rfi, fri, coi
+from repro.diy.generator import generate_test
+from repro.diy.naming import cycle_name
+from repro.diy.families import standard_family, two_thread_family, extended_family
+
+__all__ = [
+    "Edge",
+    "Cycle",
+    "po",
+    "fenced",
+    "dep",
+    "rfe",
+    "fre",
+    "coe",
+    "rfi",
+    "fri",
+    "coi",
+    "generate_test",
+    "cycle_name",
+    "standard_family",
+    "two_thread_family",
+    "extended_family",
+]

@@ -1,0 +1,266 @@
+"""The edge vocabulary of diy cycles.
+
+An :class:`Edge` connects two consecutive accesses of a cycle and is one of:
+
+* a communication edge — ``Rf``, ``Fr`` or ``Co``, external (``e``,
+  between two threads) or internal (``i``, within a thread);
+* a program-order edge on one thread — plain ``Po``, ``Fenced`` (a fence
+  sits between the two accesses) or ``Dp`` (an address, data, control or
+  control+cfence dependency).
+
+Program-order edges connect accesses to *different* locations (the
+classic ``d`` flavour of diy); internal communication edges connect
+accesses to the *same* location.  The directions (read/write) of the two
+endpoints are part of the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Dependency kinds understood by the generator.
+DEPENDENCY_KINDS = ("addr", "data", "ctrl", "ctrlisync", "ctrlisb")
+
+READ = "R"
+WRITE = "W"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One edge of a diy cycle.
+
+    Attributes
+    ----------
+    kind:
+        ``"Rf"``, ``"Fr"``, ``"Co"``, ``"Po"``, ``"Fenced"`` or ``"Dp"``.
+    src_dir / dst_dir:
+        Directions of the source and target accesses (``"R"`` or ``"W"``).
+    external:
+        For communication edges: True when the two accesses are on
+        distinct threads.  Always False for program-order edges.
+    fence:
+        The fence mnemonic of a ``Fenced`` edge.
+    dep:
+        The dependency kind of a ``Dp`` edge.
+    """
+
+    kind: str
+    src_dir: str
+    dst_dir: str
+    external: bool = False
+    fence: Optional[str] = None
+    dep: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("Rf", "Fr", "Co", "Po", "Fenced", "Dp"):
+            raise ValueError(f"unknown edge kind {self.kind!r}")
+        if self.src_dir not in (READ, WRITE) or self.dst_dir not in (READ, WRITE):
+            raise ValueError("edge directions must be 'R' or 'W'")
+        if self.kind == "Fenced" and self.fence is None:
+            raise ValueError("Fenced edges need a fence name")
+        if self.kind == "Dp":
+            if self.dep not in DEPENDENCY_KINDS:
+                raise ValueError(f"unknown dependency kind {self.dep!r}")
+            if self.src_dir != READ:
+                raise ValueError("dependencies originate at reads")
+
+    # -- classification -----------------------------------------------------------
+
+    @property
+    def is_communication(self) -> bool:
+        return self.kind in ("Rf", "Fr", "Co")
+
+    @property
+    def is_program_order(self) -> bool:
+        return not self.is_communication
+
+    @property
+    def changes_thread(self) -> bool:
+        return self.is_communication and self.external
+
+    @property
+    def same_location(self) -> bool:
+        """Do the two endpoints access the same memory location?"""
+        return self.is_communication
+
+    def label(self) -> str:
+        """The short diy-style label of the edge (used to build test names)."""
+        if self.kind in ("Rf", "Fr", "Co"):
+            scope = "e" if self.external else "i"
+            base = {"Rf": "Rf", "Fr": "Fr", "Co": "Ws"}[self.kind]
+            return f"{base}{scope}"
+        if self.kind == "Po":
+            return f"Pod{self.src_dir}{self.dst_dir}"
+        if self.kind == "Fenced":
+            return f"Fenced.{self.fence}.d{self.src_dir}{self.dst_dir}"
+        return f"Dp{self.dep}d{self.src_dir}{self.dst_dir}"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+# ---------------------------------------------------------------------------
+# Edge constructors (the public vocabulary)
+# ---------------------------------------------------------------------------
+
+def rfe() -> Edge:
+    """External read-from: a write on one thread read by another thread."""
+    return Edge("Rf", WRITE, READ, external=True)
+
+
+def rfi() -> Edge:
+    """Internal read-from: a write read by a po-later read of the same thread."""
+    return Edge("Rf", WRITE, READ, external=False)
+
+
+def fre() -> Edge:
+    """External from-read: a read followed (in co) by another thread's write."""
+    return Edge("Fr", READ, WRITE, external=True)
+
+
+def fri() -> Edge:
+    """Internal from-read."""
+    return Edge("Fr", READ, WRITE, external=False)
+
+
+def coe() -> Edge:
+    """External coherence (write serialisation) edge."""
+    return Edge("Co", WRITE, WRITE, external=True)
+
+
+def coi() -> Edge:
+    """Internal coherence edge (two writes to one location on one thread)."""
+    return Edge("Co", WRITE, WRITE, external=False)
+
+
+def po(src_dir: str, dst_dir: str) -> Edge:
+    """Plain program order between accesses to different locations."""
+    return Edge("Po", src_dir, dst_dir)
+
+
+def fenced(fence: str, src_dir: str, dst_dir: str) -> Edge:
+    """Program order with a fence in between."""
+    return Edge("Fenced", src_dir, dst_dir, fence=fence)
+
+
+def dep(kind: str, dst_dir: str) -> Edge:
+    """A dependency edge from a read to a later access.
+
+    ``kind`` is ``addr``, ``data``, ``ctrl``, ``ctrlisync`` or ``ctrlisb``;
+    data dependencies may only target writes.
+    """
+    if kind == "data" and dst_dir != WRITE:
+        raise ValueError("data dependencies target writes")
+    return Edge("Dp", READ, dst_dir, dep=kind)
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A well-formed cycle of edges.
+
+    The cycle is normalised so that its last edge is an external
+    communication edge (hence event 0 starts thread 0).
+    """
+
+    edges: Tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise ValueError("a cycle needs at least two edges")
+        if not any(edge.changes_thread for edge in self.edges):
+            raise ValueError("a cycle needs at least one external communication edge")
+
+    @classmethod
+    def of(cls, edges: Sequence[Edge]) -> "Cycle":
+        """Build a cycle, rotating it so the last edge changes thread."""
+        edges = list(edges)
+        # Rotate so that the wrap-around edge is external.
+        for rotation in range(len(edges)):
+            if edges[-1].changes_thread:
+                break
+            edges = edges[1:] + edges[:1]
+        else:  # pragma: no cover - guarded by __post_init__
+            raise ValueError("a cycle needs at least one external communication edge")
+        return cls(tuple(edges))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self):
+        return iter(self.edges)
+
+    def directions(self) -> List[str]:
+        """The direction (R/W) of each event, checking edge consistency.
+
+        Event ``i`` is the source of edge ``i`` and the target of edge
+        ``i-1``; both must agree on its direction.
+        """
+        n = len(self.edges)
+        directions: List[str] = []
+        for index in range(n):
+            incoming = self.edges[(index - 1) % n]
+            outgoing = self.edges[index]
+            if incoming.dst_dir != outgoing.src_dir:
+                raise ValueError(
+                    f"event {index}: incoming edge {incoming} targets a "
+                    f"{incoming.dst_dir} but outgoing edge {outgoing} starts at a "
+                    f"{outgoing.src_dir}"
+                )
+            directions.append(outgoing.src_dir)
+        return directions
+
+    def thread_of_events(self) -> List[int]:
+        """The thread index of each event."""
+        threads: List[int] = []
+        current = 0
+        for index, edge in enumerate(self.edges):
+            threads.append(current)
+            if edge.changes_thread:
+                current += 1
+        # The wrap-around edge is external (normalised), so event 0 correctly
+        # starts a fresh thread.
+        return threads
+
+    def num_threads(self) -> int:
+        return sum(1 for edge in self.edges if edge.changes_thread)
+
+    def location_classes(self) -> List[int]:
+        """Assign a location class to each event (union-find over same-loc edges)."""
+        n = len(self.edges)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        for index, edge in enumerate(self.edges):
+            if edge.same_location:
+                union(index, (index + 1) % n)
+
+        # Name the classes in order of first appearance.
+        class_names: dict = {}
+        classes: List[int] = []
+        for index in range(n):
+            root = find(index)
+            if root not in class_names:
+                class_names[root] = len(class_names)
+            classes.append(class_names[root])
+
+        # Different-location edges must indeed connect different classes.
+        for index, edge in enumerate(self.edges):
+            if edge.is_program_order:
+                if classes[index] == classes[(index + 1) % n]:
+                    raise ValueError(
+                        f"edge {edge} requires different locations but the cycle "
+                        f"forces both endpoints to the same location"
+                    )
+        return classes
+
+    def label(self) -> str:
+        return " ".join(edge.label() for edge in self.edges)

@@ -1,0 +1,165 @@
+"""Systematic families of generated litmus tests.
+
+These families back the large-scale experiments:
+
+* the hardware-testing campaign of Tab. V (thousands of tests per
+  architecture in the paper; the family size here is a parameter);
+* the simulation-speed comparison of Tab. IX;
+* the verification comparisons of Tab. X/XI.
+
+A family is produced by enumerating critical cycles over a per-thread
+mechanism vocabulary (plain po, fences, dependencies) and the external
+communication edges, then generating one litmus test per cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.diy.cycles import Cycle, Edge, coe, dep, fenced, fre, po, rfe
+from repro.diy.generator import generate_test
+from repro.litmus.ast import LitmusTest
+
+#: Per-architecture fence vocabulary used for Fenced program-order edges.
+FENCES_BY_ARCH: Dict[str, Tuple[str, ...]] = {
+    "power": ("sync", "lwsync"),
+    "arm": ("dmb",),
+    "x86": ("mfence",),
+}
+
+#: Per-architecture dependency vocabulary.
+DEPS_BY_ARCH: Dict[str, Tuple[str, ...]] = {
+    "power": ("addr", "data", "ctrl", "ctrlisync"),
+    "arm": ("addr", "data", "ctrl", "ctrlisb"),
+    "x86": (),
+}
+
+_COMMUNICATIONS = {"Rfe": rfe, "Fre": fre, "Coe": coe}
+
+
+def _segment_mechanisms(
+    first_dir: str, last_dir: str, arch: str
+) -> List[Edge]:
+    """Program-order edges available between two accesses of given directions."""
+    mechanisms: List[Edge] = [po(first_dir, last_dir)]
+    for fence in FENCES_BY_ARCH.get(arch, ()):
+        mechanisms.append(fenced(fence, first_dir, last_dir))
+    if first_dir == "R":
+        for kind in DEPS_BY_ARCH.get(arch, ()):
+            if kind == "data" and last_dir != "W":
+                continue
+            if kind in ("ctrlisync", "ctrlisb") and last_dir != "R":
+                # ctrl+cfence is interesting on read targets; plain ctrl
+                # already covers the write targets.
+                continue
+            mechanisms.append(dep(kind, last_dir))
+    return mechanisms
+
+
+def _communication_choices(count: int) -> Iterator[Tuple[Edge, ...]]:
+    """All tuples of `count` external communication edges."""
+    constructors = list(_COMMUNICATIONS.values())
+    for combination in itertools.product(constructors, repeat=count):
+        yield tuple(make() for make in combination)
+
+
+def critical_cycles(
+    num_threads: int, arch: str
+) -> Iterator[Cycle]:
+    """All critical cycles with one two-access segment per thread.
+
+    Each thread holds exactly two accesses linked by a program-order
+    mechanism; consecutive threads are linked by an external
+    communication edge.  (Single-access threads, as in wrc or iriw, are
+    produced by :func:`extended_family`.)
+    """
+    for communications in _communication_choices(num_threads):
+        # Directions of each thread's first/last access are imposed by the
+        # communication edges around it.
+        first_dirs = [communications[(i - 1) % num_threads].dst_dir for i in range(num_threads)]
+        last_dirs = [communications[i].src_dir for i in range(num_threads)]
+        per_thread_options = [
+            _segment_mechanisms(first_dirs[i], last_dirs[i], arch)
+            for i in range(num_threads)
+        ]
+        for segments in itertools.product(*per_thread_options):
+            edges: List[Edge] = []
+            for i in range(num_threads):
+                edges.append(segments[i])
+                edges.append(communications[i])
+            try:
+                yield Cycle.of(edges)
+            except ValueError:
+                continue
+
+
+def two_thread_family(arch: str = "power", limit: Optional[int] = None) -> List[LitmusTest]:
+    """All two-thread critical-cycle tests over the architecture's vocabulary."""
+    return _generate(critical_cycles(2, arch), arch, limit)
+
+
+def three_thread_family(arch: str = "power", limit: Optional[int] = None) -> List[LitmusTest]:
+    """All three-thread critical-cycle tests (one segment per thread)."""
+    return _generate(critical_cycles(3, arch), arch, limit)
+
+
+def standard_family(
+    arch: str = "power", max_threads: int = 3, limit: Optional[int] = None
+) -> List[LitmusTest]:
+    """The default campaign family: 2-thread plus (optionally) 3-thread cycles."""
+    cycles: Iterator[Cycle] = critical_cycles(2, arch)
+    if max_threads >= 3:
+        cycles = itertools.chain(cycles, critical_cycles(3, arch))
+    return _generate(cycles, arch, limit)
+
+
+def extended_family(arch: str = "power", limit: Optional[int] = None) -> List[LitmusTest]:
+    """Cycles mixing one-access and two-access threads (wrc/rwc/iriw shapes)."""
+    tests: List[LitmusTest] = []
+    seen: set = set()
+    fences = FENCES_BY_ARCH.get(arch, ())
+    deps = DEPS_BY_ARCH.get(arch, ())
+
+    def reader_mechanisms() -> List[Edge]:
+        options = [po("R", "R")]
+        options += [fenced(f, "R", "R") for f in fences]
+        options += [dep(k, "R") for k in deps if k != "data"]
+        return options
+
+    # wrc / iriw shapes: writer threads with a single write, reader threads
+    # with two reads kept in order by some mechanism.
+    for first in reader_mechanisms():
+        for second in reader_mechanisms():
+            wrc_edges = [rfe(), dep("addr", "W"), rfe(), second, fre()]
+            iriw_edges = [rfe(), first, fre(), rfe(), second, fre()]
+            for edges in (wrc_edges, iriw_edges):
+                try:
+                    cycle = Cycle.of(list(edges))
+                except ValueError:
+                    continue
+                test = generate_test(cycle, arch=arch)
+                if test.name in seen:
+                    continue
+                seen.add(test.name)
+                tests.append(test)
+                if limit is not None and len(tests) >= limit:
+                    return tests
+    return tests
+
+
+def _generate(
+    cycles: Iterable[Cycle], arch: str, limit: Optional[int]
+) -> List[LitmusTest]:
+    tests: List[LitmusTest] = []
+    seen: set = set()
+    for cycle in cycles:
+        test = generate_test(cycle, arch=arch)
+        if test.name in seen:
+            # Same name means same shape; keep the first occurrence only.
+            continue
+        seen.add(test.name)
+        tests.append(test)
+        if limit is not None and len(tests) >= limit:
+            break
+    return tests

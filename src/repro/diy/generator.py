@@ -1,0 +1,219 @@
+"""Generating a litmus test from a cycle of relaxations.
+
+Given a well-formed :class:`~repro.diy.cycles.Cycle`, :func:`generate_test`
+produces a :class:`~repro.litmus.ast.LitmusTest` whose final condition is
+reachable exactly when the cycle can be executed:
+
+1. events are placed on threads and locations following the cycle;
+2. the writes to each location receive the values ``1, 2, ...`` in the
+   coherence order the cycle requires; reads receive the value of their
+   read-from source (or 0 when they read from the initial state);
+3. each thread's program is emitted with the fences and dependency
+   idioms requested by the program-order edges (xor-based false
+   dependencies, compare/branch control dependencies, ...);
+4. the final condition pins every read's value and, for locations with
+   more than one write, the final (coherence-maximal) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.diy.cycles import Cycle, Edge
+from repro.diy.naming import cycle_name
+from repro.litmus.ast import LitmusTest, TestBuilder, ThreadBuilder
+from repro.util.digraph import topological_sort
+
+#: Location names handed out to the cycle's location classes.
+LOCATION_NAMES = ("x", "y", "z", "w", "v", "u", "t", "s")
+
+#: Fence mnemonics whose Fenced edges are understood per architecture.
+ARCH_OF_FENCE = {
+    "sync": "power",
+    "lwsync": "power",
+    "eieio": "power",
+    "isync": "power",
+    "dmb": "arm",
+    "dsb": "arm",
+    "dmb.st": "arm",
+    "dsb.st": "arm",
+    "isb": "arm",
+    "mfence": "x86",
+}
+
+
+@dataclass
+class _EventPlan:
+    """Placement of one cycle event before program emission."""
+
+    index: int
+    direction: str
+    thread: int
+    location: str
+    value: int = 0
+    register: Optional[str] = None  # destination register of a read
+
+
+def _location_names(classes: Sequence[int]) -> List[str]:
+    names: List[str] = []
+    for cls in classes:
+        if cls >= len(LOCATION_NAMES):
+            names.append(f"loc{cls}")
+        else:
+            names.append(LOCATION_NAMES[cls])
+    return names
+
+
+def _assign_values(cycle: Cycle, plans: List[_EventPlan]) -> None:
+    """Assign write values (coherence order) and read values in place."""
+    n = len(plans)
+    edges = list(cycle.edges)
+
+    # Coherence constraints between writes of the same location.
+    constraints: List[Tuple[int, int]] = []
+    for index, edge in enumerate(edges):
+        target = (index + 1) % n
+        if edge.kind == "Co":
+            constraints.append((index, target))
+        elif edge.kind == "Fr":
+            # The read at `index` reads either the initial write (no
+            # constraint) or the write its incoming Rf edge comes from,
+            # which must then be co-before the Fr target.
+            incoming = edges[(index - 1) % n]
+            if incoming.kind == "Rf":
+                constraints.append(((index - 1) % n, target))
+
+    by_location: Dict[str, List[int]] = {}
+    for plan in plans:
+        if plan.direction == "W":
+            by_location.setdefault(plan.location, []).append(plan.index)
+
+    for location, writes in by_location.items():
+        local = [(src, dst) for src, dst in constraints if src in writes and dst in writes]
+        order = topological_sort(local, nodes=writes)
+        # Keep the order of appearance for unconstrained writes (topological
+        # sort already favours a deterministic order).
+        for value, event_index in enumerate(order, start=1):
+            plans[event_index].value = value
+
+    # Read values.
+    for index, plan in enumerate(plans):
+        if plan.direction != "R":
+            continue
+        incoming = edges[(index - 1) % n]
+        if incoming.kind == "Rf":
+            plan.value = plans[(index - 1) % n].value
+        else:
+            plan.value = 0  # reads from the initial state
+
+
+def _infer_arch(cycle: Cycle, default: str = "power") -> str:
+    for edge in cycle.edges:
+        if edge.fence is not None:
+            return ARCH_OF_FENCE.get(edge.fence, default)
+        if edge.dep == "ctrlisb":
+            return "arm"
+        if edge.dep == "ctrlisync":
+            return "power"
+    return default
+
+
+def _emit_access(
+    thread: ThreadBuilder,
+    plan: _EventPlan,
+    incoming: Optional[Edge],
+    previous_register: Optional[str],
+) -> None:
+    """Emit the instructions of one access, honouring the incoming edge."""
+    dep_kind = incoming.dep if incoming is not None and incoming.kind == "Dp" else None
+    fence = incoming.fence if incoming is not None and incoming.kind == "Fenced" else None
+    cfence = {"ctrlisync": "isync", "ctrlisb": "isb"}.get(dep_kind or "", None)
+
+    if fence is not None:
+        thread.fence(fence)
+
+    if plan.direction == "R":
+        if dep_kind == "addr":
+            plan.register = thread.load_addr_dep(plan.location, previous_register)
+        elif dep_kind in ("ctrl", "ctrlisync", "ctrlisb"):
+            plan.register = thread.load_ctrl_dep(
+                plan.location, previous_register, cfence=cfence
+            )
+        else:
+            plan.register = thread.load(plan.location)
+        return
+
+    if dep_kind == "addr":
+        thread.store_addr_dep(plan.location, plan.value, previous_register)
+    elif dep_kind == "data":
+        thread.store_data_dep(plan.location, plan.value, previous_register)
+    elif dep_kind in ("ctrl", "ctrlisync", "ctrlisb"):
+        thread.store_ctrl_dep(plan.location, plan.value, previous_register, cfence=cfence)
+    else:
+        thread.store(plan.location, plan.value)
+
+
+def generate_test(
+    cycle_or_edges: Union[Cycle, Sequence[Edge]],
+    name: Optional[str] = None,
+    arch: Optional[str] = None,
+) -> LitmusTest:
+    """Generate the litmus test of a cycle of relaxations."""
+    cycle = (
+        cycle_or_edges
+        if isinstance(cycle_or_edges, Cycle)
+        else Cycle.of(list(cycle_or_edges))
+    )
+
+    directions = cycle.directions()
+    threads = cycle.thread_of_events()
+    locations = _location_names(cycle.location_classes())
+
+    plans = [
+        _EventPlan(index=i, direction=directions[i], thread=threads[i], location=locations[i])
+        for i in range(len(cycle))
+    ]
+    _assign_values(cycle, plans)
+
+    test_arch = arch if arch is not None else _infer_arch(cycle)
+    test_name = name if name is not None else cycle_name(cycle)
+    builder = TestBuilder(test_name, arch=test_arch, doc=cycle.label())
+
+    thread_builders: Dict[int, ThreadBuilder] = {}
+    for thread_index in range(cycle.num_threads()):
+        thread_builders[thread_index] = builder.thread()
+
+    edges = list(cycle.edges)
+    previous_register_per_thread: Dict[int, Optional[str]] = {}
+
+    for index, plan in enumerate(plans):
+        incoming = edges[(index - 1) % len(plans)]
+        same_thread = plans[(index - 1) % len(plans)].thread == plan.thread and index > 0
+        incoming_for_emit = incoming if same_thread else None
+        thread = thread_builders[plan.thread]
+        _emit_access(
+            thread,
+            plan,
+            incoming_for_emit,
+            previous_register_per_thread.get(plan.thread),
+        )
+        if plan.direction == "R":
+            previous_register_per_thread[plan.thread] = plan.register
+
+    # Final condition: pin every read, and the final value of multi-write
+    # locations (which pins the intended coherence order).
+    atoms: Dict[Union[Tuple[int, str], str], int] = {}
+    for plan in plans:
+        if plan.direction == "R" and plan.register is not None:
+            atoms[(plan.thread, plan.register)] = plan.value
+    writes_per_location: Dict[str, List[_EventPlan]] = {}
+    for plan in plans:
+        if plan.direction == "W":
+            writes_per_location.setdefault(plan.location, []).append(plan)
+    for location, writes in writes_per_location.items():
+        if len(writes) > 1:
+            atoms[location] = max(write.value for write in writes)
+    builder.exists(atoms)
+
+    return builder.build()

@@ -1,0 +1,96 @@
+"""The litmus test naming convention (Sec. 4.1 and Tab. III).
+
+A name is ``<base>+<annotations>``:
+
+* the *base* is the classic name of the communication skeleton when
+  there is one (``mp``, ``sb``, ``lb``, ``wrc``, ``rwc``, ``isa2``,
+  ``2+2w``, ``w+rw+2w``, ``r``, ``s``, ``w+rwc``, ``iriw``), and the
+  systematic name otherwise (the per-thread access directions, e.g.
+  ``ww+rr``);
+* the *annotations* describe, thread per thread, the mechanism keeping
+  each thread's accesses in order: a fence name, a dependency name
+  (``addr``, ``data``, ``ctrl``, ``ctrlisync``, ``ctrlisb``), ``po`` for
+  nothing, or a hyphenated chain when a thread has several program-order
+  edges (e.g. ``fri-rfi-ctrlisb``).  When every thread uses the same
+  single mechanism the annotation is pluralised (``sb+syncs``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.diy.cycles import Cycle, Edge
+
+#: classic base names keyed by the tuple of per-thread direction strings.
+CLASSIC_BASES: Dict[Tuple[str, ...], str] = {
+    ("WW", "RR"): "mp",
+    ("WR", "WR"): "sb",
+    ("RW", "RW"): "lb",
+    ("WW", "WW"): "2+2w",
+    ("WW", "WR"): "r",
+    ("WW", "RW"): "s",
+    ("W", "RW", "RR"): "wrc",
+    ("WW", "RW", "RR"): "isa2",
+    ("W", "RR", "WR"): "rwc",
+    ("WW", "RR", "WR"): "w+rwc",
+    ("W", "RW", "WW"): "w+rw+2w",
+    ("W", "RR", "W", "RR"): "iriw",
+}
+
+
+def _per_thread_structure(cycle: Cycle) -> Tuple[List[str], List[List[Edge]]]:
+    """Per-thread access directions and per-thread intra-thread edges."""
+    directions = cycle.directions()
+    threads = cycle.thread_of_events()
+    num_threads = cycle.num_threads()
+
+    dirs_per_thread: List[str] = ["" for _ in range(num_threads)]
+    edges_per_thread: List[List[Edge]] = [[] for _ in range(num_threads)]
+    for index, edge in enumerate(cycle.edges):
+        thread = threads[index]
+        dirs_per_thread[thread] += directions[index]
+        if not edge.changes_thread:
+            edges_per_thread[thread].append(edge)
+    return dirs_per_thread, edges_per_thread
+
+
+def _edge_annotation(edge: Edge) -> str:
+    if edge.kind == "Po":
+        return "po"
+    if edge.kind == "Fenced":
+        return edge.fence or "fence"
+    if edge.kind == "Dp":
+        return edge.dep or "dp"
+    if edge.kind == "Rf":
+        return "rfi"
+    if edge.kind == "Fr":
+        return "fri"
+    return "wsi"
+
+
+def cycle_name(cycle: Cycle) -> str:
+    """The conventional name of the cycle's litmus test."""
+    dirs_per_thread, edges_per_thread = _per_thread_structure(cycle)
+
+    base = CLASSIC_BASES.get(tuple(dirs_per_thread))
+    if base is None:
+        base = "+".join(d.lower() for d in dirs_per_thread)
+
+    annotations: List[str] = []
+    for edges in edges_per_thread:
+        if not edges:
+            continue
+        annotations.append("-".join(_edge_annotation(edge) for edge in edges))
+
+    interesting = [a for a in annotations if a != "po"]
+    if not interesting:
+        return base
+    if len(set(annotations)) == 1 and len(annotations) > 1 and "-" not in annotations[0]:
+        return f"{base}+{annotations[0]}s"
+    return base + "+" + "+".join(annotations)
+
+
+def systematic_name(cycle: Cycle) -> str:
+    """The systematic name (per-thread directions) regardless of classic names."""
+    dirs_per_thread, _ = _per_thread_structure(cycle)
+    return "+".join(d.lower() for d in dirs_per_thread)

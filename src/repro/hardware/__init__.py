@@ -1,0 +1,48 @@
+"""Simulated hardware and the litmus testing campaign (Sec. 8.1).
+
+The paper's experiments ran thousands of generated litmus tests on Power
+(G5/6/7) and ARM (Tegra, Qualcomm APQ, Exynos, Apple A5X/A6X) machines.
+We do not have that silicon; instead each chip is simulated by
+
+* an *implementation model* — an instance of the framework describing
+  what the silicon actually implements, typically **stronger** than the
+  architectural model (e.g. current Power cores do not exhibit the
+  load-buffering behaviours the architecture allows), and
+* a set of *errata* — weaker models whose extra behaviours show up with
+  a small observation frequency: the ARM Cortex-A9-era load-load hazard
+  (acknowledged as a bug by ARM), the early-commit behaviours of
+  Qualcomm systems (Fig. 32/33) and the OBSERVATION violations seen on
+  Tegra3 (Fig. 35).
+
+The campaign harness replays the paper's methodology: run a test family
+on the simulated chips, compare observed outcomes with a model's allowed
+outcomes, and classify the differences ("invalid" = observed but
+forbidden, "unseen" = allowed but never observed) — the quantities of
+Tab. V, VI and VIII.
+"""
+
+from repro.hardware.chips import (
+    SimulatedChip,
+    Erratum,
+    default_power_chips,
+    default_arm_chips,
+    chip_by_name,
+)
+from repro.hardware.testing import (
+    ObservedTest,
+    CampaignReport,
+    run_campaign,
+    classify_anomalies,
+)
+
+__all__ = [
+    "SimulatedChip",
+    "Erratum",
+    "default_power_chips",
+    "default_arm_chips",
+    "chip_by_name",
+    "ObservedTest",
+    "CampaignReport",
+    "run_campaign",
+    "classify_anomalies",
+]

@@ -1,0 +1,185 @@
+"""The litmus testing campaign harness (Tab. V, VI, VIII).
+
+``run_campaign`` replays the paper's methodology: every test of a family
+is run on a population of (simulated) chips and its observed outcomes
+are compared with the outcomes a model allows.
+
+* a test is **invalid** when the hardware exhibits its target outcome
+  although the model forbids it — either the model is too strong or the
+  hardware is buggy (Sec. 8.1);
+* a test is **unseen** when the model allows the target outcome but no
+  chip ever exhibits it — the model is weaker than current
+  implementations, which is expected (e.g. lb on Power).
+
+``classify_anomalies`` reproduces the Tab. VIII breakdown: for every
+observed-but-forbidden execution, record which axioms reject it
+(S = SC PER LOCATION, T = NO THIN AIR, O = OBSERVATION, P = PROPAGATION).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.axioms import (
+    AXIOM_NO_THIN_AIR,
+    AXIOM_OBSERVATION,
+    AXIOM_PROPAGATION,
+    AXIOM_SC_PER_LOCATION,
+)
+from repro.core.model import Model
+from repro.hardware.chips import SimulatedChip
+from repro.herd.enumerate import candidate_executions
+from repro.herd.simulator import Simulator
+from repro.litmus.ast import LitmusTest
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+_AXIOM_LETTER = {
+    AXIOM_SC_PER_LOCATION: "S",
+    AXIOM_NO_THIN_AIR: "T",
+    AXIOM_OBSERVATION: "O",
+    AXIOM_PROPAGATION: "P",
+}
+
+
+@dataclass
+class ObservedTest:
+    """One test's campaign record."""
+
+    test: LitmusTest
+    model_verdict: str
+    model_outcomes: FrozenSet[Outcome]
+    observed_outcomes: Dict[str, Dict[Outcome, int]]  # chip -> outcome -> count
+    target_observed: bool
+
+    @property
+    def invalid(self) -> bool:
+        """Observed on hardware although the model forbids it."""
+        return self.model_verdict == "Forbid" and self.target_observed
+
+    @property
+    def unseen(self) -> bool:
+        """Allowed by the model but never observed."""
+        return self.model_verdict == "Allow" and not self.target_observed
+
+    def total_target_observations(self) -> int:
+        total = 0
+        for per_chip in self.observed_outcomes.values():
+            for outcome, count in per_chip.items():
+                if _outcome_matches_condition(self.test, outcome):
+                    total += count
+        return total
+
+
+@dataclass
+class CampaignReport:
+    """Summary of a campaign: the content of one column of Tab. V."""
+
+    model_name: str
+    results: List[ObservedTest] = field(default_factory=list)
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.results)
+
+    @property
+    def invalid_tests(self) -> List[ObservedTest]:
+        return [result for result in self.results if result.invalid]
+
+    @property
+    def unseen_tests(self) -> List[ObservedTest]:
+        return [result for result in self.results if result.unseen]
+
+    def summary_row(self) -> Dict[str, int]:
+        return {
+            "# tests": self.num_tests,
+            "invalid": len(self.invalid_tests),
+            "unseen": len(self.unseen_tests),
+        }
+
+    def describe(self) -> str:
+        row = self.summary_row()
+        return (
+            f"{self.model_name}: {row['# tests']} tests, "
+            f"{row['invalid']} invalid, {row['unseen']} unseen"
+        )
+
+
+def _outcome_matches_condition(test: LitmusTest, outcome: Outcome) -> bool:
+    assert test.condition is not None
+    observed = dict(outcome)
+    return all(
+        observed.get(f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name)
+        == atom.value
+        for atom in test.condition.atoms
+    )
+
+
+def run_campaign(
+    tests: Iterable[LitmusTest],
+    chips: Sequence[SimulatedChip],
+    model,
+    iterations: int = 1_000_000,
+    seed: int = 2014,
+) -> CampaignReport:
+    """Run a family of tests on a chip population and compare with a model."""
+    simulator = Simulator(model)
+    report = CampaignReport(model_name=simulator.model_name)
+    rng = random.Random(seed)
+
+    for test in tests:
+        model_result = simulator.run(test)
+        observed: Dict[str, Dict[Outcome, int]] = {}
+        target_observed = False
+        for chip in chips:
+            chip_rng = random.Random(rng.randint(0, 2**31))
+            counts = chip.observed_outcomes(test, iterations=iterations, rng=chip_rng)
+            observed[chip.name] = counts
+            if any(_outcome_matches_condition(test, outcome) for outcome in counts):
+                target_observed = True
+        report.results.append(
+            ObservedTest(
+                test=test,
+                model_verdict=model_result.verdict,
+                model_outcomes=model_result.allowed_outcomes,
+                observed_outcomes=observed,
+                target_observed=target_observed,
+            )
+        )
+    return report
+
+
+def classify_anomalies(
+    report: CampaignReport, model
+) -> Dict[str, int]:
+    """Tab. VIII: count observed-but-forbidden executions per violated-axiom set.
+
+    For every invalid test, every candidate execution whose outcome was
+    observed on some chip yet is rejected by the model is classified by
+    the set of axioms rejecting it (e.g. ``"S"``, ``"OP"``, ``"STO"``).
+    """
+    model = model if isinstance(model, Model) or hasattr(model, "check") else Model(model)
+    classification: Dict[str, int] = {}
+
+    for result in report.results:
+        if not result.invalid:
+            continue
+        observed_outcomes = set()
+        for per_chip in result.observed_outcomes.values():
+            observed_outcomes.update(per_chip)
+        for candidate in candidate_executions(result.test):
+            outcome = candidate.outcome(result.test)
+            if outcome not in observed_outcomes:
+                continue
+            check = model.check(candidate.execution, stop_at_first=False)
+            if check.allowed:
+                continue
+            letters = sorted(
+                {_AXIOM_LETTER.get(v.axiom, "?") for v in check.violations},
+                key="STOP".index,
+            )
+            key = "".join(letters)
+            classification[key] = classification.get(key, 0) + 1
+    return classification

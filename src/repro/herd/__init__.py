@@ -1,0 +1,20 @@
+"""The herd simulator.
+
+Given a litmus test and a model — either a built-in
+:class:`~repro.core.model.Architecture` or a model written in the cat
+DSL — herd enumerates the candidate executions of the test
+(:mod:`repro.herd.enumerate`) and checks each against the model's
+axioms (:mod:`repro.herd.simulator`), reporting which outcomes are
+allowed and whether the test's final condition is reachable.
+"""
+
+from repro.herd.enumerate import Candidate, candidate_executions
+from repro.herd.simulator import SimulationResult, Simulator, simulate
+
+__all__ = [
+    "Candidate",
+    "candidate_executions",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,190 @@
+"""Enumeration of candidate executions (the data-flow semantics of Sec. 3).
+
+Starting from the per-thread control-flow paths produced by the
+instruction semantics, this module builds every candidate execution
+``(E, po, rf, co)``:
+
+1. pick one control/data path per thread (a choice of values returned by
+   each load, which also resolves branches);
+2. pick, for every read, a write to the same location carrying the same
+   value (the read-from map ``rf``) — combinations for which some read
+   has no possible source are discarded;
+3. pick, for every location, a total order of the writes to that
+   location starting with the initial write (the coherence order ``co``).
+
+The constraint specification (the model) then decides which candidates
+are valid; that part lives in :mod:`repro.herd.simulator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.events import Event
+from repro.core.execution import Execution
+from repro.core.relation import Relation
+from repro.litmus.ast import LitmusTest, RegisterValue
+from repro.litmus.semantics import (
+    ThreadExecution,
+    enumerate_thread_paths,
+    thread_init_registers,
+    value_domain_of,
+)
+from repro.util.digraph import linear_extensions
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate execution together with the final register state."""
+
+    execution: Execution
+    final_registers: Mapping[Tuple[int, str], RegisterValue]
+
+    def final_memory(self) -> Dict[str, int]:
+        return self.execution.final_memory_state()
+
+    def outcome(self, test: LitmusTest) -> Tuple[Tuple[str, int], ...]:
+        """The observable final state, projected on the test's condition.
+
+        The projection mirrors what the litmus harness logs on hardware:
+        the registers and locations mentioned in the final condition (or
+        every memory location when the test has no condition).
+        """
+        observed: List[Tuple[str, int]] = []
+        memory = self.final_memory()
+        if test.condition is not None:
+            for atom in test.condition.atoms:
+                if atom.kind == "reg":
+                    value = self.final_registers.get((atom.thread, atom.name), 0)
+                    observed.append((f"{atom.thread}:{atom.name}", int(value)))
+                else:
+                    observed.append((atom.name, memory.get(atom.name, 0)))
+        else:
+            observed.extend(sorted(memory.items()))
+        return tuple(sorted(set(observed)))
+
+
+def _thread_paths(
+    test: LitmusTest, value_domain: Optional[Sequence[int]] = None
+) -> List[List[ThreadExecution]]:
+    domain = list(value_domain) if value_domain is not None else value_domain_of(test)
+    paths: List[List[ThreadExecution]] = []
+    for index, instructions in enumerate(test.threads):
+        init_registers = thread_init_registers(test, index)
+        paths.append(
+            enumerate_thread_paths(index, instructions, init_registers, domain)
+        )
+    return paths
+
+
+def _read_from_choices(
+    reads: Sequence[Event], writes: Sequence[Event]
+) -> Iterator[Tuple[Tuple[Event, Event], ...]]:
+    """All read-from maps: one same-location same-value write per read."""
+    per_read: List[List[Tuple[Event, Event]]] = []
+    for read in reads:
+        sources = [
+            (write, read)
+            for write in writes
+            if write.location == read.location and write.value == read.value
+        ]
+        if not sources:
+            return  # this combination of thread paths is infeasible
+        per_read.append(sources)
+    yield from itertools.product(*per_read)
+
+
+def _coherence_choices(
+    writes: Sequence[Event], locations: Iterable[str]
+) -> Iterator[Relation]:
+    """All coherence orders: per location, a total order with init first."""
+    per_location: List[List[Tuple[Tuple[Event, ...], ...]]] = []
+    orders_per_location: List[List[Tuple[Event, ...]]] = []
+    for location in sorted(set(locations)):
+        local_writes = [w for w in writes if w.location == location]
+        init = [w for w in local_writes if w.is_init()]
+        rest = [w for w in local_writes if not w.is_init()]
+        orders = [tuple(init) + order for order in linear_extensions(rest, ())]
+        orders_per_location.append(orders if orders else [tuple(init)])
+    for combination in itertools.product(*orders_per_location):
+        relation = Relation()
+        for order in combination:
+            relation = relation | Relation.from_order(order)
+        yield relation
+
+
+def candidates_of_combination(
+    combination: Sequence[ThreadExecution],
+    locations: Iterable[str] = (),
+    initial_values: Optional[Mapping[str, int]] = None,
+) -> Iterator[Candidate]:
+    """Yield the candidate executions of one choice of per-thread paths.
+
+    This is the data-flow half of the enumeration: given the control-flow
+    paths (one :class:`~repro.litmus.semantics.ThreadExecution` per
+    thread), enumerate every read-from map and coherence order.  It is
+    shared between the litmus front-end (:func:`candidate_executions`)
+    and the verification front-end (:mod:`repro.verification.bmc`).
+    """
+    events: List[Event] = []
+    po = Relation()
+    addr = Relation()
+    data = Relation()
+    ctrl = Relation()
+    ctrl_cfence = Relation()
+    fences: Dict[str, Relation] = {}
+    final_registers: Dict[Tuple[int, str], RegisterValue] = {}
+
+    for path in combination:
+        events.extend(path.memory_events)
+        po = po | Relation.from_order(path.memory_events)
+        addr = addr | Relation(path.addr)
+        data = data | Relation(path.data)
+        ctrl = ctrl | Relation(path.ctrl)
+        ctrl_cfence = ctrl_cfence | Relation(path.ctrl_cfence)
+        for name, pairs in path.fences.items():
+            fences[name] = fences.get(name, Relation()) | Relation(pairs)
+        for register, value in path.final_registers.items():
+            final_registers[(path.thread, register)] = value
+
+    touched = set(locations) | {
+        e.location for e in events if e.location is not None
+    }
+    init_writes = Execution.initial_writes(touched, initial_values)
+    all_events = init_writes + events
+    writes = [e for e in all_events if e.is_write()]
+    reads = [e for e in all_events if e.is_read()]
+
+    for rf_pairs in _read_from_choices(reads, writes):
+        rf = Relation(rf_pairs)
+        for co in _coherence_choices(writes, touched):
+            execution = Execution(
+                events=frozenset(all_events),
+                po=po,
+                rf=rf,
+                co=co,
+                addr=addr,
+                data=data,
+                ctrl=ctrl,
+                ctrl_cfence=ctrl_cfence,
+                fences_by_name=dict(fences),
+            )
+            yield Candidate(execution=execution, final_registers=dict(final_registers))
+
+
+def candidate_executions(
+    test: LitmusTest, value_domain: Optional[Sequence[int]] = None
+) -> Iterator[Candidate]:
+    """Yield every candidate execution of *test*."""
+    all_paths = _thread_paths(test, value_domain)
+    locations = set(test.locations())
+
+    for combination in itertools.product(*all_paths):
+        yield from candidates_of_combination(combination, locations, test.init_memory)
+
+
+def count_candidates(test: LitmusTest) -> int:
+    """Number of candidate executions of a test (used by benchmarks)."""
+    return sum(1 for _ in candidate_executions(test))

@@ -1,0 +1,163 @@
+"""The herd simulator: litmus test + model -> allowed outcomes and verdict.
+
+``simulate(test, model)`` enumerates the candidate executions of the
+test, checks each against the model and summarises:
+
+* the set of allowed outcomes (final states as observed by the litmus
+  harness);
+* whether the test's target outcome (its ``exists`` clause) is reachable
+  — the paper's "allowed"/"forbidden" verdict for a pattern;
+* optionally, the full lists of allowed and forbidden candidates, used
+  by the anomaly-classification experiments (Tab. VIII) which need to
+  know *which axioms* reject each execution.
+
+The ``model`` argument accepts a :class:`~repro.core.model.Model`, a
+:class:`~repro.core.model.Architecture`, an architecture name (``"power"``,
+``"tso"``...) or a cat-interpreted model object exposing ``check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.core.architectures import get_architecture
+from repro.core.model import Architecture, CheckResult, Model
+from repro.herd.enumerate import Candidate, candidate_executions
+from repro.litmus.ast import LitmusTest
+
+Outcome = Tuple[Tuple[str, int], ...]
+ModelLike = Union[str, Architecture, Model]
+
+
+def _as_model(model: ModelLike) -> Model:
+    if isinstance(model, Model):
+        return model
+    if isinstance(model, Architecture):
+        return Model(model)
+    if isinstance(model, str):
+        return Model(get_architecture(model))
+    if hasattr(model, "check"):  # duck-typed (cat-interpreted models)
+        return model  # type: ignore[return-value]
+    raise TypeError(f"cannot interpret {model!r} as a model")
+
+
+@dataclass
+class SimulationResult:
+    """Summary of simulating one litmus test under one model."""
+
+    test: LitmusTest
+    model_name: str
+    allowed_outcomes: FrozenSet[Outcome]
+    all_outcomes: FrozenSet[Outcome]
+    target_reachable: bool
+    condition_holds: bool
+    num_candidates: int
+    num_allowed: int
+    allowed_candidates: Tuple[Candidate, ...] = ()
+    forbidden_candidates: Tuple[Tuple[Candidate, CheckResult], ...] = ()
+
+    @property
+    def verdict(self) -> str:
+        """The paper's Allow/Forbid verdict for the test's target outcome."""
+        return "Allow" if self.target_reachable else "Forbid"
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.test.name} under {self.model_name}: {self.verdict}",
+            f"  candidates: {self.num_candidates}, allowed: {self.num_allowed}",
+        ]
+        for outcome in sorted(self.allowed_outcomes):
+            rendering = ", ".join(f"{name}={value}" for name, value in outcome)
+            lines.append(f"  allowed outcome: {rendering}")
+        return "\n".join(lines)
+
+
+class Simulator:
+    """A reusable simulator bound to one model."""
+
+    def __init__(self, model: ModelLike):
+        self.model = _as_model(model)
+
+    @property
+    def model_name(self) -> str:
+        return getattr(self.model, "name", str(self.model))
+
+    def run(
+        self,
+        test: LitmusTest,
+        keep_candidates: bool = False,
+        stop_at_first_violation: bool = True,
+    ) -> SimulationResult:
+        allowed_outcomes: set = set()
+        all_outcomes: set = set()
+        allowed: List[Candidate] = []
+        forbidden: List[Tuple[Candidate, CheckResult]] = []
+        num_candidates = 0
+        num_allowed = 0
+
+        for candidate in candidate_executions(test):
+            num_candidates += 1
+            outcome = candidate.outcome(test)
+            all_outcomes.add(outcome)
+            result = self.model.check(
+                candidate.execution, stop_at_first=stop_at_first_violation
+            )
+            if result.allowed:
+                num_allowed += 1
+                allowed_outcomes.add(outcome)
+                if keep_candidates:
+                    allowed.append(candidate)
+            elif keep_candidates:
+                forbidden.append((candidate, result))
+
+        target_reachable = False
+        condition_holds = True
+        if test.condition is not None:
+            # Reachability is determined from the allowed outcomes only.
+            any_match = any(
+                self._outcome_satisfies(test, outcome) for outcome in allowed_outcomes
+            )
+            all_match = bool(allowed_outcomes) and all(
+                self._outcome_satisfies(test, outcome) for outcome in allowed_outcomes
+            )
+            target_reachable = any_match
+            condition_holds = test.condition.verdict(any_match, all_match)
+
+        return SimulationResult(
+            test=test,
+            model_name=self.model_name,
+            allowed_outcomes=frozenset(allowed_outcomes),
+            all_outcomes=frozenset(all_outcomes),
+            target_reachable=target_reachable,
+            condition_holds=condition_holds,
+            num_candidates=num_candidates,
+            num_allowed=num_allowed,
+            allowed_candidates=tuple(allowed),
+            forbidden_candidates=tuple(forbidden),
+        )
+
+    @staticmethod
+    def _outcome_satisfies(test: LitmusTest, outcome: Outcome) -> bool:
+        """Does an outcome (projected final state) satisfy the condition atoms?"""
+        assert test.condition is not None
+        observed = dict(outcome)
+        for atom in test.condition.atoms:
+            key = f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+            if observed.get(key) != atom.value:
+                return False
+        return True
+
+
+def simulate(
+    test: LitmusTest,
+    model: ModelLike,
+    keep_candidates: bool = False,
+    stop_at_first_violation: bool = True,
+) -> SimulationResult:
+    """Simulate *test* under *model* (convenience wrapper around Simulator)."""
+    return Simulator(model).run(
+        test,
+        keep_candidates=keep_candidates,
+        stop_at_first_violation=stop_at_first_violation,
+    )

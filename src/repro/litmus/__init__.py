@@ -1,0 +1,62 @@
+"""Litmus tests: the pseudo-ISA, instruction semantics and test corpus.
+
+This package provides:
+
+* :mod:`repro.litmus.instructions` — a compact pseudo assembly language
+  covering the Power, ARM and x86 instructions used by the paper's
+  litmus tests (loads, stores, register arithmetic, compare/branch and
+  every fence);
+* :mod:`repro.litmus.ast` — the litmus test structure (initial state,
+  per-thread programs, final condition) and a programmatic builder;
+* :mod:`repro.litmus.semantics` — the instruction semantics of Sec. 5:
+  each thread is executed into memory/register/branch/fence events
+  related by ``iico`` and register read-from, from which the dependency
+  relations addr, data, ctrl and ctrl+cfence are computed;
+* :mod:`repro.litmus.parser` — a parser for the textual litmus format
+  (Power, ARM and x86 dialects);
+* :mod:`repro.litmus.registry` — the named tests of the paper
+  (mp, sb, lb, wrc, iriw, ... and their fence/dependency variants).
+"""
+
+from repro.litmus.instructions import (
+    Instruction,
+    Load,
+    Store,
+    MoveImmediate,
+    Xor,
+    Add,
+    CompareImmediate,
+    Branch,
+    Label,
+    Fence,
+)
+from repro.litmus.ast import (
+    LitmusTest,
+    Condition,
+    ConditionAtom,
+    ThreadBuilder,
+    TestBuilder,
+)
+from repro.litmus.parser import parse_litmus
+from repro.litmus.semantics import ThreadExecution, enumerate_thread_paths
+
+__all__ = [
+    "Instruction",
+    "Load",
+    "Store",
+    "MoveImmediate",
+    "Xor",
+    "Add",
+    "CompareImmediate",
+    "Branch",
+    "Label",
+    "Fence",
+    "LitmusTest",
+    "Condition",
+    "ConditionAtom",
+    "ThreadBuilder",
+    "TestBuilder",
+    "parse_litmus",
+    "ThreadExecution",
+    "enumerate_thread_paths",
+]

@@ -1,0 +1,185 @@
+"""The pseudo instruction set used by litmus tests.
+
+The paper's litmus tests are written in Power, ARM or x86 assembly; the
+only thing the models care about is the *event structure* each
+instruction generates (Sec. 5).  We therefore use a single architecture
+neutral instruction set and map the assembly mnemonics of each dialect
+onto it in :mod:`repro.litmus.parser`.
+
+====================  =============  ==========  =======================
+instruction           Power          ARM         x86 (simplified)
+====================  =============  ==========  =======================
+MoveImmediate         li             mov         MOV reg, $imm
+Load                  lwz / lwzx     ldr         MOV reg, [loc]
+Store                 stw / stwx     str         MOV [loc], reg/$imm
+Xor                   xor            eor         XOR
+Add                   add            add         ADD
+CompareImmediate      cmpwi          cmp         CMP
+Branch                bne / beq      bne / beq   JNE / JE
+Fence                 sync, lwsync,  dmb, dsb,   MFENCE
+                      eieio, isync   dmb.st,
+                                     dsb.st, isb
+====================  =============  ==========  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Fence mnemonics understood by the semantics, grouped by architecture.
+POWER_FENCES = ("sync", "lwsync", "eieio", "isync")
+ARM_FENCES = ("dmb", "dsb", "dmb.st", "dsb.st", "isb")
+X86_FENCES = ("mfence",)
+ALL_FENCES = POWER_FENCES + ARM_FENCES + X86_FENCES
+
+#: Fences that act as control fences (they matter for ctrl+cfence).
+CONTROL_FENCES = ("isync", "isb")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class of all pseudo instructions."""
+
+    def mnemonic(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MoveImmediate(Instruction):
+    """``dst <- value`` where value is a literal int or a location name."""
+
+    dst: str
+    value: Union[int, str]
+
+    def mnemonic(self) -> str:
+        return f"li {self.dst},{self.value}"
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """Load from memory: ``dst <- mem[address(addr_reg [+ index_reg])]``.
+
+    The effective address is the location held by ``addr_reg``; when
+    ``index_reg`` is given its (integer) content is added, which is how
+    litmus tests build "false" address dependencies (the index is always
+    zero, but the data-flow path still exists).
+    """
+
+    dst: str
+    addr_reg: str
+    index_reg: Optional[str] = None
+
+    def mnemonic(self) -> str:
+        if self.index_reg is None:
+            return f"lwz {self.dst},0({self.addr_reg})"
+        return f"lwzx {self.dst},{self.index_reg},{self.addr_reg}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """Store to memory: ``mem[address(addr_reg [+ index_reg])] <- src``."""
+
+    src: str
+    addr_reg: str
+    index_reg: Optional[str] = None
+
+    def mnemonic(self) -> str:
+        if self.index_reg is None:
+            return f"stw {self.src},0({self.addr_reg})"
+        return f"stwx {self.src},{self.index_reg},{self.addr_reg}"
+
+
+@dataclass(frozen=True)
+class Xor(Instruction):
+    """``dst <- left xor right`` (used for false dependencies)."""
+
+    dst: str
+    left: str
+    right: str
+
+    def mnemonic(self) -> str:
+        return f"xor {self.dst},{self.left},{self.right}"
+
+
+@dataclass(frozen=True)
+class Add(Instruction):
+    """``dst <- left + right``."""
+
+    dst: str
+    left: str
+    right: str
+
+    def mnemonic(self) -> str:
+        return f"add {self.dst},{self.left},{self.right}"
+
+
+@dataclass(frozen=True)
+class CompareImmediate(Instruction):
+    """Compare a register with an immediate; writes the condition register CR0."""
+
+    reg: str
+    value: int
+
+    def mnemonic(self) -> str:
+        return f"cmpwi {self.reg},{self.value}"
+
+
+@dataclass(frozen=True)
+class Compare(Instruction):
+    """Compare two registers; writes the condition register CR0.
+
+    ``cmpw left, right`` on Power, ``cmp left, right`` on ARM.  Litmus
+    tests typically compare a register with itself so that a following
+    conditional branch is statically decided yet the control dependency
+    on the register's value remains.
+    """
+
+    left: str
+    right: str
+
+    def mnemonic(self) -> str:
+        return f"cmpw {self.left},{self.right}"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional branch on the condition register.
+
+    ``condition`` is ``"ne"`` (branch if not equal) or ``"eq"``.
+    Only forward branches are supported, which is all litmus tests need.
+    """
+
+    condition: str
+    label: str
+
+    def mnemonic(self) -> str:
+        op = "bne" if self.condition == "ne" else "beq"
+        return f"{op} {self.label}"
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """A branch target."""
+
+    name: str
+
+    def mnemonic(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """A memory or control fence, named after its assembly mnemonic."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_FENCES:
+            raise ValueError(f"unknown fence {self.name!r}; known: {ALL_FENCES}")
+
+    def is_control_fence(self) -> bool:
+        return self.name in CONTROL_FENCES
+
+    def mnemonic(self) -> str:
+        return self.name

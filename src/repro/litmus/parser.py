@@ -1,0 +1,323 @@
+"""Parser for the textual litmus format.
+
+The accepted format follows the diy/litmus convention::
+
+    Power mp+lwsync+addr
+    "optional documentation string"
+    {
+    0:r2=x; 0:r4=y;
+    1:r2=y; 1:r4=x;
+    x=0; y=0;
+    }
+     P0            | P1             ;
+     li r1,1       | lwz r1,0(r2)   ;
+     stw r1,0(r2)  | xor r3,r1,r1   ;
+     lwsync        | lwzx r5,r3,r4  ;
+     li r3,1       |                ;
+     stw r3,0(r4)  |                ;
+    exists (1:r1=1 /\\ 1:r5=0)
+
+Three dialects are understood, selected by the header keyword:
+
+* ``Power`` / ``PPC``: li, lwz, lwzx, stw, stwx, xor, add, cmpw, cmpwi,
+  bne, beq, sync, lwsync, eieio, isync;
+* ``ARM``: mov, ldr, str, eor, add, cmp, bne, beq, dmb, dsb, isb (with
+  ``ldr r1,[r2]`` / ``ldr r1,[r2,r3]`` addressing);
+* ``X86``: ``mov``-style pseudo syntax plus ``mfence``.
+
+The final condition accepts ``exists``, ``~exists`` and ``forall`` with a
+conjunction of ``thread:reg=value`` and ``location=value`` atoms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.litmus.ast import Condition, ConditionAtom, LitmusTest, RegisterValue
+from repro.litmus.instructions import (
+    Add,
+    Branch,
+    Compare,
+    CompareImmediate,
+    Fence,
+    Instruction,
+    Label,
+    Load,
+    MoveImmediate,
+    Store,
+    Xor,
+)
+
+
+class LitmusParseError(ValueError):
+    """Raised on malformed litmus input."""
+
+
+def _parse_value(text: str) -> RegisterValue:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def _parse_power_arm_instruction(line: str, dialect: str) -> Optional[Instruction]:
+    line = line.strip()
+    if not line:
+        return None
+    if line.endswith(":"):
+        return Label(line[:-1].strip())
+
+    match = re.match(r"^(\S+)\s*(.*)$", line)
+    if match is None:
+        raise LitmusParseError(f"cannot parse instruction {line!r}")
+    opcode, rest = match.group(1).lower(), match.group(2).strip()
+    operands = _split_operands(rest)
+
+    fences = {
+        "sync": "sync",
+        "lwsync": "lwsync",
+        "eieio": "eieio",
+        "isync": "isync",
+        "dmb": "dmb",
+        "dsb": "dsb",
+        "dmb.st": "dmb.st",
+        "dsb.st": "dsb.st",
+        "isb": "isb",
+        "mfence": "mfence",
+    }
+    if opcode in fences and not operands:
+        return Fence(fences[opcode])
+
+    if opcode in ("li", "mov", "movi"):
+        return MoveImmediate(operands[0], _parse_value(operands[1].lstrip("#$")))
+
+    if opcode in ("lwz", "ldr"):
+        destination = operands[0]
+        addressing = ",".join(operands[1:])
+        bracket = re.match(r"^\[(\w+)(?:,(\w+))?\]$", addressing.replace(" ", ""))
+        if bracket:
+            return Load(destination, bracket.group(1), index_reg=bracket.group(2))
+        offset = re.match(r"^(-?\d+)\((\w+)\)$", addressing.replace(" ", ""))
+        if offset:
+            if int(offset.group(1)) != 0:
+                raise LitmusParseError("non-zero load offsets are not supported")
+            return Load(destination, offset.group(2))
+        raise LitmusParseError(f"cannot parse load addressing in {line!r}")
+
+    if opcode == "lwzx":
+        return Load(operands[0], operands[2], index_reg=operands[1])
+
+    if opcode in ("stw", "str"):
+        source = operands[0]
+        addressing = ",".join(operands[1:])
+        bracket = re.match(r"^\[(\w+)(?:,(\w+))?\]$", addressing.replace(" ", ""))
+        if bracket:
+            return Store(source, bracket.group(1), index_reg=bracket.group(2))
+        offset = re.match(r"^(-?\d+)\((\w+)\)$", addressing.replace(" ", ""))
+        if offset:
+            if int(offset.group(1)) != 0:
+                raise LitmusParseError("non-zero store offsets are not supported")
+            return Store(source, offset.group(2))
+        raise LitmusParseError(f"cannot parse store addressing in {line!r}")
+
+    if opcode == "stwx":
+        return Store(operands[0], operands[2], index_reg=operands[1])
+
+    if opcode in ("xor", "eor"):
+        return Xor(operands[0], operands[1], operands[2])
+    if opcode == "add":
+        return Add(operands[0], operands[1], operands[2])
+    if opcode in ("cmpw", "cmp"):
+        second = operands[1].lstrip("#$")
+        if re.fullmatch(r"-?\d+", second):
+            return CompareImmediate(operands[0], int(second))
+        return Compare(operands[0], operands[1])
+    if opcode == "cmpwi":
+        return CompareImmediate(operands[0], int(operands[1]))
+    if opcode == "bne":
+        return Branch("ne", operands[0] if operands else rest)
+    if opcode == "beq":
+        return Branch("eq", operands[0] if operands else rest)
+
+    raise LitmusParseError(f"unknown {dialect} instruction {line!r}")
+
+
+def _parse_x86_instruction(line: str) -> Optional[Instruction]:
+    """A pragmatic x86 subset: MOV between registers/immediates/locations, MFENCE."""
+    line = line.strip()
+    if not line:
+        return None
+    lowered = line.lower()
+    if lowered == "mfence":
+        return Fence("mfence")
+    match = re.match(r"^mov\s+(.+?)\s*,\s*(.+)$", lowered)
+    if match is None:
+        raise LitmusParseError(f"unknown x86 instruction {line!r}")
+    destination, source = match.group(1).strip(), match.group(2).strip()
+
+    def is_mem(operand: str) -> bool:
+        return operand.startswith("[") and operand.endswith("]")
+
+    if is_mem(destination):
+        address = destination[1:-1]
+        if source.startswith("$"):
+            # MOV [x],$1 — store of an immediate: goes through a scratch register.
+            raise LitmusParseError(
+                "x86 immediate stores must be written through a register in this subset"
+            )
+        return Store(source, f"rA{address}")
+    if is_mem(source):
+        address = source[1:-1]
+        return Load(destination, f"rA{address}")
+    return MoveImmediate(destination, _parse_value(source.lstrip("$")))
+
+
+_CONDITION_RE = re.compile(r"^(exists|~exists|forall)\s*\((.*)\)\s*$", re.DOTALL)
+
+
+def _parse_condition(text: str) -> Condition:
+    match = _CONDITION_RE.match(text.strip())
+    if match is None:
+        raise LitmusParseError(f"cannot parse final condition {text!r}")
+    kind = {"exists": "exists", "~exists": "not exists", "forall": "forall"}[match.group(1)]
+    atoms: List[ConditionAtom] = []
+    body = match.group(2).strip()
+    if body:
+        for piece in re.split(r"/\\|&&", body):
+            piece = piece.strip().strip("()")
+            if not piece:
+                continue
+            left, right = piece.split("=", 1)
+            value = int(right.strip(), 0)
+            left = left.strip()
+            if ":" in left:
+                thread_text, register = left.split(":", 1)
+                atoms.append(ConditionAtom.register(int(thread_text), register.strip(), value))
+            else:
+                atoms.append(ConditionAtom.memory(left, value))
+    return Condition(kind, tuple(atoms))
+
+
+def parse_litmus(text: str) -> LitmusTest:
+    """Parse a litmus test from its textual form."""
+    lines = [line.rstrip() for line in text.strip().splitlines()]
+    if not lines:
+        raise LitmusParseError("empty litmus source")
+
+    header = lines[0].split()
+    if not header:
+        raise LitmusParseError("missing architecture header")
+    arch_word = header[0].lower()
+    arch = {"power": "power", "ppc": "power", "arm": "arm", "x86": "x86"}.get(arch_word)
+    if arch is None:
+        raise LitmusParseError(f"unknown architecture {header[0]!r}")
+    name = header[1] if len(header) > 1 else "anonymous"
+
+    index = 1
+    doc = ""
+    while index < len(lines) and not lines[index].strip().startswith("{"):
+        stripped = lines[index].strip()
+        if stripped.startswith('"'):
+            doc = stripped.strip('"')
+        index += 1
+    if index >= len(lines):
+        raise LitmusParseError("missing initial-state section '{...}'")
+
+    # Initial state (either "{ ... }" on one line or a brace-delimited block).
+    init_text = []
+    brace_line = lines[index].strip()
+    index += 1
+    closed = "}" in brace_line
+    if brace_line not in ("{", "{}"):
+        init_text.append(brace_line.lstrip("{").rstrip("}"))
+    while not closed and index < len(lines):
+        line = lines[index]
+        index += 1
+        if "}" in line:
+            init_text.append(line.replace("}", ""))
+            closed = True
+        else:
+            init_text.append(line)
+
+    init_registers: Dict[Tuple[int, str], RegisterValue] = {}
+    init_memory: Dict[str, int] = {}
+    for assignment in re.split(r"[;\n]", " ".join(init_text)):
+        assignment = assignment.strip()
+        if not assignment:
+            continue
+        left, right = assignment.split("=", 1)
+        left, right = left.strip(), right.strip()
+        value = _parse_value(right)
+        if ":" in left:
+            thread_text, register = left.split(":", 1)
+            init_registers[(int(thread_text), register.strip())] = value
+        else:
+            if not isinstance(value, int):
+                raise LitmusParseError(f"memory locations hold integers, got {right!r}")
+            init_memory[left] = value
+
+    # Program columns.
+    program_lines: List[str] = []
+    condition_lines: List[str] = []
+    in_condition = False
+    for line in lines[index:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(("exists", "~exists", "forall")) or in_condition:
+            in_condition = True
+            condition_lines.append(stripped)
+            continue
+        program_lines.append(line)
+
+    if not program_lines:
+        raise LitmusParseError("missing program section")
+
+    rows = [
+        [cell.strip() for cell in line.rstrip(";").split("|")] for line in program_lines
+    ]
+    header_row = rows[0]
+    num_threads = len(header_row)
+    threads: List[List[Instruction]] = [[] for _ in range(num_threads)]
+    for row in rows[1:]:
+        for column in range(num_threads):
+            cell = row[column] if column < len(row) else ""
+            if not cell:
+                continue
+            if arch == "x86":
+                instruction = _parse_x86_instruction(cell)
+            else:
+                instruction = _parse_power_arm_instruction(cell, arch)
+            if instruction is not None:
+                threads[column].append(instruction)
+
+    condition = _parse_condition(" ".join(condition_lines)) if condition_lines else None
+
+    # x86 loads/stores address memory directly: synthesise the address registers.
+    if arch == "x86":
+        for thread_index, instructions in enumerate(threads):
+            for instruction in instructions:
+                if isinstance(instruction, (Load, Store)):
+                    location = instruction.addr_reg[2:]
+                    init_registers.setdefault((thread_index, instruction.addr_reg), location)
+                    init_memory.setdefault(location, 0)
+
+    for value in init_registers.values():
+        if isinstance(value, str):
+            init_memory.setdefault(value, 0)
+
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        threads=threads,
+        init_registers=init_registers,
+        init_memory=init_memory,
+        condition=condition,
+        doc=doc,
+    )

@@ -1,0 +1,33 @@
+"""mole: static detection of weak-memory idioms in programs (Sec. 9).
+
+mole explores a program to find the *static critical cycles* (and the
+SC-per-location cycles) it contains: cycles alternating program order
+and competing accesses, with at most two accesses per thread and at most
+three accesses per location.  Each cycle is then named following the
+litmus convention (mp, s, coWR, ...) and categorised by the axiom of the
+model that would forbid it (SC PER LOCATION, NO THIN AIR, OBSERVATION,
+PROPAGATION), which tells the programmer which fences or dependencies
+protect the idiom.
+
+* :mod:`repro.mole.analysis` — access collection, cycle enumeration,
+  reduction rules, naming and axiom classification;
+* :mod:`repro.mole.report` — per-program and per-corpus censuses
+  (Tab. XIII and XIV);
+* :mod:`repro.mole.corpus` — the synthetic "Debian" corpus: the PgSQL,
+  RCU and Apache miniatures plus other classic concurrency idioms.
+"""
+
+from repro.mole.analysis import StaticAccess, StaticCycle, find_cycles
+from repro.mole.report import MoleReport, analyse_program, analyse_corpus
+from repro.mole.corpus import debian_corpus, corpus_package_names
+
+__all__ = [
+    "StaticAccess",
+    "StaticCycle",
+    "find_cycles",
+    "MoleReport",
+    "analyse_program",
+    "analyse_corpus",
+    "debian_corpus",
+    "corpus_package_names",
+]

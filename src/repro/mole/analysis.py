@@ -1,0 +1,332 @@
+"""The static cycle search of mole (Sec. 9.1).
+
+The analysis is deliberately an over-approximation, exactly as in the
+paper: program logic (locks, loop exits) that might make a cycle
+infeasible is ignored; both branches of every conditional contribute
+their accesses; loops contribute one iteration of their body.
+
+Pipeline:
+
+1. :func:`collect_accesses` — flatten every thread into its ordered
+   sequence of static shared-memory accesses (location + direction),
+   remembering which fences separate them;
+2. :func:`find_cycles` — build the graph of program-order edges and
+   *competing* edges (accesses of distinct threads to the same location,
+   at least one being a write), enumerate its elementary cycles and keep
+   the static critical cycles and the SC-per-location cycles;
+3. each cycle is *reduced* (``rf;fr = co``, ``co;co = co``, ``fr;co = fr``)
+   to collapse single-access intermediate threads, *named* after the
+   litmus convention (mp, s, coWR, ...) and *classified* by the axiom
+   that would forbid it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.axioms import (
+    AXIOM_NO_THIN_AIR,
+    AXIOM_OBSERVATION,
+    AXIOM_PROPAGATION,
+    AXIOM_SC_PER_LOCATION,
+)
+from repro.diy.naming import CLASSIC_BASES
+from repro.util.digraph import elementary_cycles
+from repro.verification.program import (
+    AssertStmt,
+    Assign,
+    FenceStmt,
+    IfStmt,
+    LoadStmt,
+    Program,
+    Statement,
+    StoreStmt,
+    WhileStmt,
+)
+
+
+@dataclass(frozen=True, order=True)
+class StaticAccess:
+    """One static shared-memory access of a program."""
+
+    thread: int
+    index: int
+    location: str
+    direction: str  # "R" or "W"
+
+    def __str__(self) -> str:
+        return f"T{self.thread}:{self.direction}{self.location}@{self.index}"
+
+
+@dataclass
+class ThreadAccesses:
+    """The ordered accesses of one thread plus the fences between them."""
+
+    thread: int
+    accesses: List[StaticAccess] = field(default_factory=list)
+    fences_after: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def fences_between(self, first: int, second: int) -> Set[str]:
+        """Fence mnemonics appearing between two access indices."""
+        result: Set[str] = set()
+        for position in range(first, second):
+            result |= self.fences_after.get(position, set())
+        return result
+
+
+def collect_accesses(program: Program) -> List[ThreadAccesses]:
+    """Flatten every thread into its static access sequence."""
+    result: List[ThreadAccesses] = []
+    for thread_index, statements in enumerate(program.threads):
+        thread = ThreadAccesses(thread=thread_index)
+
+        def visit(block: Sequence[Statement]) -> None:
+            for statement in block:
+                if isinstance(statement, LoadStmt):
+                    thread.accesses.append(
+                        StaticAccess(thread_index, len(thread.accesses), statement.shared, "R")
+                    )
+                elif isinstance(statement, StoreStmt):
+                    thread.accesses.append(
+                        StaticAccess(thread_index, len(thread.accesses), statement.shared, "W")
+                    )
+                elif isinstance(statement, FenceStmt):
+                    thread.fences_after.setdefault(len(thread.accesses) - 1, set()).add(
+                        statement.name
+                    )
+                elif isinstance(statement, IfStmt):
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, WhileStmt):
+                    visit(statement.body)
+                elif isinstance(statement, (Assign, AssertStmt)):
+                    continue
+
+        visit(statements)
+        result.append(thread)
+    return result
+
+
+@dataclass
+class StaticCycle:
+    """One static cycle found by mole."""
+
+    accesses: Tuple[StaticAccess, ...]
+    edges: Tuple[str, ...]  # per edge: "po", "rf", "fr" or "co"
+    fences: Tuple[FrozenSet[str], ...]  # fences on each po edge (empty for cmp edges)
+    name: str
+    axiom: str
+    is_critical: bool
+
+    def describe(self) -> str:
+        chain = " -> ".join(
+            f"{access}[{edge}]" for access, edge in zip(self.accesses, self.edges)
+        )
+        return f"{self.name} ({self.axiom}): {chain}"
+
+
+def _competing_label(source: StaticAccess, target: StaticAccess) -> Optional[str]:
+    """The communication label of a competing pair, or None if not competing."""
+    if source.thread == target.thread or source.location != target.location:
+        return None
+    if source.direction == "W" and target.direction == "W":
+        return "co"
+    if source.direction == "W" and target.direction == "R":
+        return "rf"
+    if source.direction == "R" and target.direction == "W":
+        return "fr"
+    return None
+
+
+def _per_thread_segments(cycle: Sequence[StaticAccess]) -> Dict[int, List[StaticAccess]]:
+    segments: Dict[int, List[StaticAccess]] = {}
+    for access in cycle:
+        segments.setdefault(access.thread, []).append(access)
+    return segments
+
+
+def _is_static_critical(cycle: Sequence[StaticAccess]) -> bool:
+    """Conditions (i) and (ii) of Sec. 9.1.2."""
+    segments = _per_thread_segments(cycle)
+    if len(segments) < 2:
+        return False
+    for accesses in segments.values():
+        if len(accesses) > 2:
+            return False
+        if len(accesses) == 2 and accesses[0].location == accesses[1].location:
+            return False
+    per_location: Dict[str, Set[int]] = {}
+    counts: Dict[str, int] = {}
+    for access in cycle:
+        per_location.setdefault(access.location, set()).add(access.thread)
+        counts[access.location] = counts.get(access.location, 0) + 1
+    for location, count in counts.items():
+        if count > 3:
+            return False
+        if count > len(per_location[location]):
+            return False  # accesses to one location must come from distinct threads
+    return True
+
+
+def _is_sc_per_location_cycle(cycle: Sequence[StaticAccess]) -> bool:
+    """A cycle entirely about one location (the coXY family of Fig. 6)."""
+    locations = {access.location for access in cycle}
+    segments = _per_thread_segments(cycle)
+    return len(locations) == 1 and len(cycle) <= 3 and len(segments) <= 2
+
+
+_CO_REDUCTIONS = {("rf", "fr"): "co", ("co", "co"): "co", ("fr", "co"): "fr"}
+
+
+def _reduce(
+    accesses: List[StaticAccess], edges: List[str]
+) -> Tuple[List[StaticAccess], List[str]]:
+    """Apply the reduction rules of Sec. 9.1.2 to collapse intermediate threads."""
+    changed = True
+    while changed and len(edges) > 2:
+        changed = False
+        for index in range(len(edges)):
+            nxt = (index + 1) % len(edges)
+            key = (edges[index], edges[nxt])
+            if key in _CO_REDUCTIONS:
+                edges[index] = _CO_REDUCTIONS[key]
+                # Drop the intermediate access (the target of edge `index`).
+                drop = nxt
+                del accesses[drop]
+                del edges[nxt]
+                changed = True
+                break
+    return accesses, edges
+
+
+def _classic_name(accesses: Sequence[StaticAccess], edges: Sequence[str]) -> str:
+    """Name a (reduced) cycle following the convention of Tab. III."""
+    if _is_sc_per_location_cycle(accesses):
+        segments = _per_thread_segments(accesses)
+        signature = sorted("".join(a.direction for a in seg) for seg in segments.values())
+        mapping = {
+            ("W", "WW"): "coWW",
+            ("WW",): "coWW",
+            ("RW", "W"): "coRW2",
+            ("RW",): "coRW1",
+            ("W", "WR"): "coWR",
+            ("RR", "W"): "coRR",
+        }
+        return mapping.get(tuple(signature), "co" + "".join(signature))
+
+    per_thread: Dict[int, str] = {}
+    order: List[int] = []
+    for access in accesses:
+        if access.thread not in per_thread:
+            order.append(access.thread)
+        per_thread[access.thread] = per_thread.get(access.thread, "") + access.direction
+    signature = tuple(per_thread[thread] for thread in order)
+    for rotation in range(len(signature)):
+        rotated = signature[rotation:] + signature[:rotation]
+        if rotated in CLASSIC_BASES:
+            return CLASSIC_BASES[rotated]
+    return "+".join(part.lower() for part in signature)
+
+
+def _classify(accesses: Sequence[StaticAccess], edges: Sequence[str]) -> str:
+    """Map a cycle to the axiom that would forbid it (Sec. 9.1.3).
+
+    Following the categorisation step of Sec. 9.1: a cycle whose program
+    order edges all stay on one location is an SC PER LOCATION cycle;
+    a cycle whose communications are all read-froms falls under NO THIN
+    AIR; one from-read (and no coherence) falls under OBSERVATION; the
+    rest need the PROPAGATION axiom (and hence full fences).
+    """
+    n = len(edges)
+    po_edges_same_location = all(
+        accesses[i].location == accesses[(i + 1) % n].location
+        for i in range(n)
+        if edges[i] == "po"
+    )
+    communications = [edge for edge in edges if edge != "po"]
+    if po_edges_same_location:
+        return AXIOM_SC_PER_LOCATION
+    if not communications:
+        return AXIOM_SC_PER_LOCATION
+    fr_count = sum(1 for edge in communications if edge == "fr")
+    co_count = sum(1 for edge in communications if edge == "co")
+    if all(edge == "rf" for edge in communications):
+        return AXIOM_NO_THIN_AIR
+    if fr_count == 1 and co_count == 0:
+        return AXIOM_OBSERVATION
+    return AXIOM_PROPAGATION
+
+
+def find_cycles(
+    program: Program, max_cycle_length: int = 6
+) -> List[StaticCycle]:
+    """All static critical cycles and SC-per-location cycles of a program."""
+    threads = collect_accesses(program)
+    accesses = [access for thread in threads for access in thread.accesses]
+
+    edges: List[Tuple[StaticAccess, StaticAccess]] = []
+    labels: Dict[Tuple[StaticAccess, StaticAccess], str] = {}
+    for source in accesses:
+        for target in accesses:
+            if source == target:
+                continue
+            if source.thread == target.thread and source.index < target.index:
+                edges.append((source, target))
+                labels[(source, target)] = "po"
+                continue
+            label = _competing_label(source, target)
+            if label is not None:
+                edges.append((source, target))
+                labels[(source, target)] = label
+
+    cycles: List[StaticCycle] = []
+    seen: Set[Tuple[StaticAccess, ...]] = set()
+    for cycle_nodes in elementary_cycles(edges, max_length=max_cycle_length):
+        if len(cycle_nodes) < 2:
+            continue
+        # Canonical rotation for deduplication.
+        smallest = min(range(len(cycle_nodes)), key=lambda i: cycle_nodes[i])
+        rotated = tuple(cycle_nodes[smallest:] + cycle_nodes[:smallest])
+        if rotated in seen:
+            continue
+        seen.add(rotated)
+
+        critical = _is_static_critical(rotated)
+        sc_per_location = _is_sc_per_location_cycle(rotated)
+        if not critical and not sc_per_location:
+            continue
+
+        nodes = list(rotated)
+        edge_labels = [
+            labels[(nodes[i], nodes[(i + 1) % len(nodes)])] for i in range(len(nodes))
+        ]
+        if "po" not in edge_labels:
+            # A cycle made of communications only (e.g. a write racing a read)
+            # does not oppose program order to communications: not an idiom.
+            continue
+        fences: List[FrozenSet[str]] = []
+        for i in range(len(nodes)):
+            source, target = nodes[i], nodes[(i + 1) % len(nodes)]
+            if edge_labels[i] == "po":
+                fences.append(
+                    frozenset(threads[source.thread].fences_between(source.index, target.index))
+                )
+            else:
+                fences.append(frozenset())
+
+        reduced_nodes, reduced_edges = _reduce(list(nodes), list(edge_labels))
+        name = _classic_name(reduced_nodes, reduced_edges)
+        axiom = _classify(reduced_nodes, reduced_edges)
+        cycles.append(
+            StaticCycle(
+                accesses=tuple(nodes),
+                edges=tuple(edge_labels),
+                fences=tuple(fences),
+                name=name,
+                axiom=axiom,
+                is_critical=critical,
+            )
+        )
+    cycles.sort(key=lambda cycle: (cycle.name, cycle.accesses))
+    return cycles

@@ -1,0 +1,180 @@
+"""The synthetic "Debian" corpus analysed by mole (Sec. 9).
+
+The paper runs mole over the 1590 concurrency-using source packages of
+Debian 7.1; we do not ship that corpus, so this module provides faithful
+miniatures of the idioms the paper highlights (PostgreSQL latches, Linux
+RCU, the Apache fdqueue) plus other classic shared-memory idioms found
+throughout systems code (spinlocks, seqlocks, double-checked
+initialisation, racy statistics counters, Dekker-style flags, work
+stealing).  Each "package" is a list of concurrent programs in the
+verification IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.verification.examples import (
+    apache_example,
+    dekker_example,
+    postgresql_example,
+    rcu_example,
+)
+from repro.verification.program import (
+    AssertStmt,
+    Assign,
+    BinOp,
+    Const,
+    FenceStmt,
+    IfStmt,
+    LoadStmt,
+    Program,
+    StoreStmt,
+    Var,
+    WhileStmt,
+)
+
+
+def spinlock_program() -> Program:
+    """A test-and-set spinlock protecting a shared counter (coWR/coWW shapes)."""
+    def worker() -> tuple:
+        return (
+            WhileStmt(BinOp("==", Var("got"), Const(0)), body=(
+                LoadStmt("lock_state", "lock"),
+                IfStmt(BinOp("==", Var("lock_state"), Const(0)), then_branch=(
+                    StoreStmt("lock", Const(1)),
+                    Assign("got", Const(1)),
+                )),
+            ), bound=1),
+            LoadStmt("counter_value", "counter"),
+            StoreStmt("counter", BinOp("+", Var("counter_value"), Const(1))),
+            StoreStmt("lock", Const(0)),
+        )
+
+    return Program(
+        name="spinlock",
+        shared={"lock": 0, "counter": 0},
+        threads=[worker(), worker()],
+        description="test-and-set spinlock around a shared counter",
+    )
+
+
+def seqlock_program() -> Program:
+    """A sequence-lock reader/writer pair (mp shapes around the sequence word)."""
+    writer = (
+        LoadStmt("seq0", "sequence"),
+        StoreStmt("sequence", BinOp("+", Var("seq0"), Const(1))),
+        FenceStmt("lwsync"),
+        StoreStmt("payload", Const(42)),
+        FenceStmt("lwsync"),
+        StoreStmt("sequence", BinOp("+", Var("seq0"), Const(2))),
+    )
+    reader = (
+        LoadStmt("seq_before", "sequence"),
+        LoadStmt("value", "payload"),
+        LoadStmt("seq_after", "sequence"),
+        IfStmt(
+            BinOp("and", BinOp("==", Var("seq_before"), Var("seq_after")),
+                  BinOp("==", Var("seq_before"), Const(2))),
+            then_branch=(AssertStmt(BinOp("==", Var("value"), Const(42)),
+                                    message="a stable sequence number yields a consistent payload"),),
+        ),
+    )
+    return Program(
+        name="seqlock",
+        shared={"sequence": 0, "payload": 0},
+        threads=[writer, reader],
+        description="sequence lock reader/writer",
+    )
+
+
+def double_checked_locking_program() -> Program:
+    """Double-checked initialisation (the classic mp-with-control shape)."""
+    initialiser = (
+        StoreStmt("object_field", Const(5)),
+        FenceStmt("lwsync"),
+        StoreStmt("initialised", Const(1)),
+    )
+    user = (
+        LoadStmt("flag", "initialised"),
+        IfStmt(BinOp("==", Var("flag"), Const(1)), then_branch=(
+            LoadStmt("field", "object_field"),
+            AssertStmt(BinOp("==", Var("field"), Const(5)),
+                       message="an initialised object has its fields set"),
+        )),
+    )
+    return Program(
+        name="double-checked-locking",
+        shared={"object_field": 0, "initialised": 0},
+        threads=[initialiser, user],
+        description="double-checked initialisation",
+    )
+
+
+def statistics_counter_program() -> Program:
+    """Racy statistics counters (pure SC-per-location shapes)."""
+    def bump() -> tuple:
+        return (
+            LoadStmt("current", "hits"),
+            StoreStmt("hits", BinOp("+", Var("current"), Const(1))),
+        )
+
+    return Program(
+        name="stats-counter",
+        shared={"hits": 0},
+        threads=[bump(), bump()],
+        description="racy statistics counter",
+    )
+
+
+def work_stealing_program() -> Program:
+    """A bounded work-stealing deque interaction (sb/rwc shapes on top/bottom)."""
+    owner = (
+        StoreStmt("bottom", Const(1)),
+        FenceStmt("sync"),
+        LoadStmt("seen_top", "top"),
+        IfStmt(BinOp("==", Var("seen_top"), Const(0)), then_branch=(
+            StoreStmt("task_taken_by_owner", Const(1)),
+        )),
+    )
+    thief = (
+        StoreStmt("top", Const(1)),
+        FenceStmt("sync"),
+        LoadStmt("seen_bottom", "bottom"),
+        IfStmt(BinOp("==", Var("seen_bottom"), Const(0)), then_branch=(
+            StoreStmt("task_taken_by_thief", Const(1)),
+        )),
+    )
+    checker = (
+        LoadStmt("by_owner", "task_taken_by_owner"),
+        LoadStmt("by_thief", "task_taken_by_thief"),
+        AssertStmt(
+            BinOp("!=", BinOp("+", Var("by_owner"), Var("by_thief")), Const(2)),
+            message="a task is not taken twice",
+        ),
+    )
+    return Program(
+        name="work-stealing",
+        shared={"top": 0, "bottom": 0, "task_taken_by_owner": 0, "task_taken_by_thief": 0},
+        threads=[owner, thief, checker],
+        description="work-stealing deque hand-off (store-buffering shape)",
+    )
+
+
+def debian_corpus() -> Dict[str, List[Program]]:
+    """The synthetic corpus, keyed by "package" name."""
+    return {
+        "postgresql": [postgresql_example(True), postgresql_example(False)],
+        "linux-rcu": [rcu_example(True), rcu_example(False)],
+        "apache2": [apache_example(True), apache_example(False)],
+        "dekker-sync": [dekker_example(False), dekker_example(True)],
+        "spinlock-lib": [spinlock_program()],
+        "seqlock-lib": [seqlock_program()],
+        "singleton-init": [double_checked_locking_program()],
+        "stats-daemon": [statistics_counter_program()],
+        "work-stealing-rt": [work_stealing_program()],
+    }
+
+
+def corpus_package_names() -> Tuple[str, ...]:
+    return tuple(sorted(debian_corpus()))

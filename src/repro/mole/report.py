@@ -1,0 +1,75 @@
+"""mole censuses: per-program and per-corpus pattern counts (Tab. XIII/XIV).
+
+The paper reports, for PostgreSQL, RCU and Apache (and in aggregate for
+the whole Debian distribution), how many static cycles of each pattern
+(mp, s, coWR, ...) appear and which axiom of the model each falls under.
+:func:`analyse_program` produces that census for one program;
+:func:`analyse_corpus` aggregates over a package corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.mole.analysis import StaticCycle, find_cycles
+from repro.verification.program import Program
+
+
+@dataclass
+class MoleReport:
+    """The census of one program (or one package aggregate)."""
+
+    name: str
+    cycles: List[StaticCycle] = field(default_factory=list)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    def patterns(self) -> Dict[str, int]:
+        """Pattern name -> number of cycles (one row group of Tab. XIII/XIV)."""
+        counts: Dict[str, int] = {}
+        for cycle in self.cycles:
+            counts[cycle.name] = counts.get(cycle.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def axioms(self) -> Dict[str, int]:
+        """Axiom -> number of cycles falling under it."""
+        counts: Dict[str, int] = {}
+        for cycle in self.cycles:
+            counts[cycle.axiom] = counts.get(cycle.axiom, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def critical_cycles(self) -> List[StaticCycle]:
+        return [cycle for cycle in self.cycles if cycle.is_critical]
+
+    def sc_per_location_cycles(self) -> List[StaticCycle]:
+        return [cycle for cycle in self.cycles if not cycle.is_critical]
+
+    def describe(self) -> str:
+        lines = [f"mole census for {self.name}: {self.num_cycles} cycles"]
+        for pattern, count in self.patterns().items():
+            lines.append(f"  {pattern:24s} {count}")
+        lines.append("  by axiom:")
+        for axiom, count in self.axioms().items():
+            lines.append(f"    {axiom:20s} {count}")
+        return "\n".join(lines)
+
+
+def analyse_program(program: Program, max_cycle_length: int = 6) -> MoleReport:
+    """Run mole on one program."""
+    return MoleReport(name=program.name, cycles=find_cycles(program, max_cycle_length))
+
+
+def analyse_corpus(
+    corpus: Mapping[str, Iterable[Program]], max_cycle_length: int = 6
+) -> Dict[str, MoleReport]:
+    """Run mole over a whole corpus; one aggregated report per package."""
+    reports: Dict[str, MoleReport] = {}
+    for package, programs in corpus.items():
+        cycles: List[StaticCycle] = []
+        for program in programs:
+            cycles.extend(find_cycles(program, max_cycle_length))
+        reports[package] = MoleReport(name=package, cycles=cycles)
+    return reports

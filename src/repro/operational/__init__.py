@@ -1,0 +1,25 @@
+"""Operational models (Sec. 7).
+
+* :mod:`repro.operational.intermediate` — the intermediate machine of
+  Fig. 30, a transition system over commit-write / write-reaches-
+  coherence-point / satisfy-read / commit-read labels, equivalent to the
+  axiomatic model (Thm. 7.1);
+* :mod:`repro.operational.pldi` — the machine specialised with the
+  stronger PLDI-2011 ordering choices, standing in for ppcmem in the
+  model-comparison experiments;
+* :mod:`repro.operational.equivalence` — the empirical equivalence
+  harness used by the tests and by the Thm. 7.1 benchmark.
+"""
+
+from repro.operational.intermediate import IntermediateMachine, OperationalSimulator
+from repro.operational.pldi import pldi_machine, pldi_operational_simulator
+from repro.operational.equivalence import EquivalenceReport, check_equivalence
+
+__all__ = [
+    "IntermediateMachine",
+    "OperationalSimulator",
+    "pldi_machine",
+    "pldi_operational_simulator",
+    "EquivalenceReport",
+    "check_equivalence",
+]

@@ -1,0 +1,67 @@
+"""Empirical equivalence of the axiomatic model and the intermediate machine.
+
+Theorem 7.1 states that the two formulations accept exactly the same
+candidate executions.  The paper proves it in Coq; here the statement is
+checked exhaustively over the bounded universe of executions that the
+experiments use: for every candidate execution of every test supplied,
+the axiomatic verdict and the machine verdict must coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.architectures import power_architecture
+from repro.core.model import Architecture, Model
+from repro.herd.enumerate import candidate_executions
+from repro.litmus.ast import LitmusTest
+from repro.operational.intermediate import IntermediateMachine
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of comparing the two formulations over a set of tests."""
+
+    architecture: str
+    tests_checked: int = 0
+    executions_checked: int = 0
+    disagreements: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.disagreements
+
+    def describe(self) -> str:
+        status = "equivalent" if self.equivalent else "NOT equivalent"
+        return (
+            f"axiomatic vs intermediate machine ({self.architecture}): {status} on "
+            f"{self.executions_checked} executions from {self.tests_checked} tests"
+            + (f"; {len(self.disagreements)} disagreements" if self.disagreements else "")
+        )
+
+
+def check_equivalence(
+    tests: Iterable[LitmusTest],
+    architecture: Optional[Architecture] = None,
+    max_executions_per_test: Optional[int] = None,
+) -> EquivalenceReport:
+    """Check Thm. 7.1 empirically over the given tests."""
+    architecture = architecture if architecture is not None else power_architecture()
+    model = Model(architecture)
+    machine = IntermediateMachine(architecture)
+    report = EquivalenceReport(architecture=architecture.name)
+
+    for test in tests:
+        report.tests_checked += 1
+        for index, candidate in enumerate(candidate_executions(test)):
+            if max_executions_per_test is not None and index >= max_executions_per_test:
+                break
+            report.executions_checked += 1
+            axiomatic = model.allows(candidate.execution)
+            operational = machine.accepts(candidate.execution)
+            if axiomatic != operational:
+                report.disagreements.append(
+                    (test.name, f"axiomatic={axiomatic}, machine={operational}")
+                )
+    return report

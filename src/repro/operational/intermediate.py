@@ -1,0 +1,305 @@
+"""The intermediate machine of Sec. 7 (Fig. 30).
+
+The machine reformulates the axiomatic model as a transition system.
+Its labels are
+
+* ``c(w)``  — commit write,
+* ``cp(w)`` — write reaches coherence point,
+* ``s(w,r)``— satisfy read (from the write ``w`` it reads),
+* ``c(w,r)``— commit read,
+
+and its state is ``(cw, cpw, sr, cr)``: the committed writes, the writes
+having reached coherence point (a list, i.e. a total order), the
+satisfied reads and the committed reads.
+
+Given a candidate execution (which fixes ``rf`` and ``co``), the machine
+*accepts* the execution when some interleaving of all its labels fires
+without ever blocking on a premise of Fig. 30.  Theorem 7.1 states that
+acceptance coincides with validity in the axiomatic model; the
+test-suite and ``benchmarks/bench_thm71_equivalence.py`` check this
+empirically on the paper's tests and on generated families.
+
+The machine also handles the coRR-strengthening discussed at the end of
+Sec. 7.1: the commit-read rule records which write each read took its
+value from, so that the coRR pattern is rejected exactly as in the
+axiomatic model.
+
+Two presentation details differ from the figure (both documented in
+DESIGN.md): the initial writes start out committed and at their
+coherence point, and the commit-write/satisfy-read rules additionally
+require the processing order to linearise the propagation order — the
+figure obtains the same effect for full fences through the interplay of
+its premises with the per-thread propagation steps of the underlying
+storage subsystem, which this abstraction does not model explicitly.
+The equivalence with the axiomatic model (Thm. 7.1) is validated
+empirically by ``tests/test_operational.py`` and
+``benchmarks/bench_thm71_equivalence.py``.
+
+The search for an accepting interleaving is an explicit-state DFS with
+memoisation on visited states — deliberately the "operational" cost
+model that Tab. IX compares against axiomatic simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.architectures import power_architecture
+from repro.core.execution import Execution
+from repro.core.model import Architecture
+from repro.core.relation import Relation
+from repro.herd.enumerate import candidate_executions
+from repro.litmus.ast import LitmusTest
+
+
+@dataclass(frozen=True)
+class _MachineState:
+    committed_writes: FrozenSet
+    coherence_point: Tuple  # ordered tuple of writes
+    satisfied_reads: FrozenSet
+    committed_reads: FrozenSet
+
+
+class IntermediateMachine:
+    """The intermediate machine, parameterised by an architecture."""
+
+    def __init__(self, architecture: Optional[Architecture] = None):
+        self.architecture = architecture if architecture is not None else power_architecture()
+
+    @property
+    def name(self) -> str:
+        return f"intermediate({self.architecture.name})"
+
+    # -- acceptance ----------------------------------------------------------------
+
+    def accepts(self, execution: Execution) -> bool:
+        """Is there an accepting interleaving of the execution's labels?"""
+        relations = self.architecture.relations(execution)
+        ppo = relations["ppo"]
+        fences = relations["fences"]
+        prop = relations["prop"]
+        hb = relations["hb"]
+        hb_star = hb.reflexive_transitive_closure(execution.memory_events)
+        prop_hb_star = prop.seq(hb_star)
+        ppo_fences = ppo | fences
+        po_loc = execution.po_loc
+        co = execution.co
+        rf_source: Dict = {read: write for write, read in execution.rf}
+
+        writes = sorted(execution.writes)
+        reads = sorted(execution.reads)
+        # The initial writes are considered committed and at their coherence
+        # point from the start; they carry no labels.
+        init_writes = tuple(sorted(execution.init_writes))
+        program_writes = [w for w in writes if not w.is_init()]
+
+        visible_cache: Dict = {}
+
+        def visible(write, read) -> bool:
+            key = (write, read)
+            if key in visible_cache:
+                return visible_cache[key]
+            result = self._visible(execution, write, read)
+            visible_cache[key] = result
+            return result
+
+        initial = _MachineState(
+            committed_writes=frozenset(init_writes),
+            coherence_point=init_writes,
+            satisfied_reads=frozenset(),
+            committed_reads=frozenset(),
+        )
+        target_writes = frozenset(init_writes) | frozenset(program_writes)
+        total_cp = len(init_writes) + len(program_writes)
+
+        seen: Set[_MachineState] = set()
+        stack: List[_MachineState] = [initial]
+
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+
+            if (
+                state.committed_writes == target_writes
+                and len(state.coherence_point) == total_cp
+                and state.satisfied_reads == frozenset(reads)
+                and state.committed_reads == frozenset(reads)
+            ):
+                return True
+
+            cw = state.committed_writes
+            cpw = state.coherence_point
+            cpw_set = set(cpw)
+            sr = state.satisfied_reads
+            cr = state.committed_reads
+
+            # COMMIT WRITE
+            for write in program_writes:
+                if write in cw:
+                    continue
+                if any((write, other) in po_loc for other in cw):
+                    continue  # CW: SC PER LOCATION / coWW
+                if any((write, other) in prop for other in cw):
+                    continue  # CW: PROPAGATION
+                if any((write, read) in fences for read in sr):
+                    continue  # CW: fences ∩ WR
+                if any((write, read) in prop for read in sr):
+                    continue  # CW: PROPAGATION vs satisfied reads (strong fences)
+                stack.append(
+                    _MachineState(cw | {write}, cpw, sr, cr)
+                )
+
+            # WRITE REACHES COHERENCE POINT
+            for write in program_writes:
+                if write in cpw_set or write not in cw:
+                    continue
+                if any((write, other) in po_loc for other in cpw_set):
+                    continue  # CPW: po-loc and cpw in accord
+                if any((write, other) in prop for other in cpw_set):
+                    continue  # CPW: PROPAGATION
+                # Keep the coherence-point order compatible with the given co:
+                # all co-predecessors must have reached their point already.
+                if any(
+                    (other, write) in co and other not in cpw_set
+                    for other in writes
+                    if other.location == write.location and other != write
+                ):
+                    continue
+                stack.append(
+                    _MachineState(cw, cpw + (write,), sr, cr)
+                )
+
+            # SATISFY READ
+            for read in reads:
+                if read in sr:
+                    continue
+                source = rf_source.get(read)
+                if source is None:
+                    continue
+                local = (source, read) in po_loc
+                if not local and source not in cw:
+                    continue  # SR: write is either local or committed
+                if any((read, other) in ppo_fences for other in sr):
+                    continue  # SR: PPO / ii0 ∩ RR
+                if any(
+                    (source, other) in co and (other, read) in prop_hb_star
+                    for other in writes
+                ):
+                    continue  # SR: OBSERVATION
+                if any((read, other) in prop for other in sr) or any(
+                    (read, other) in prop for other in cw
+                ):
+                    continue  # SR: PROPAGATION (strong cumulativity of full fences)
+                stack.append(
+                    _MachineState(cw, cpw, sr | {read}, cr)
+                )
+
+            # COMMIT READ
+            for read in reads:
+                if read in cr or read not in sr:
+                    continue
+                source = rf_source.get(read)
+                if source is None or not visible(source, read):
+                    continue  # CR: SC PER LOCATION / coWR, coRW, coRR
+                if any((read, other) in ppo_fences for other in cw):
+                    continue  # CR: PPO / cc0 ∩ RW
+                if any((read, other) in ppo_fences for other in sr):
+                    continue  # CR: PPO / (ci0 ∪ cc0) ∩ RR
+                # coRR strengthening: same-location po-related reads must not
+                # observe writes in an order contradicting the coherence order.
+                conflict = False
+                for other in cr:
+                    other_source = rf_source.get(other)
+                    if other_source is None:
+                        continue
+                    if (other, read) in po_loc and (source, other_source) in co:
+                        conflict = True
+                        break
+                    if (read, other) in po_loc and (other_source, source) in co:
+                        conflict = True
+                        break
+                if conflict:
+                    continue
+                stack.append(
+                    _MachineState(cw, cpw, sr, cr | {read})
+                )
+
+        return False
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _visible(execution: Execution, write, read) -> bool:
+        """The visibility condition of the COMMIT READ rule (Sec. 7.1.2)."""
+        if write.location != read.location:
+            return False
+        po_loc = execution.po_loc
+        co = execution.co
+        same_location_writes = [
+            w for w in execution.writes if w.location == read.location
+        ]
+
+        # wb: the last write to the location po-loc-before the read.
+        before = [w for w in same_location_writes if (w, read) in po_loc]
+        wb = None
+        for candidate in before:
+            if all(other is candidate or (other, candidate) in po_loc for other in before):
+                wb = candidate
+        # wa: the first write to the location po-loc-after the read.
+        after = [w for w in same_location_writes if (read, w) in po_loc]
+        wa = None
+        for candidate in after:
+            if all(other is candidate or (candidate, other) in po_loc for other in after):
+                wa = candidate
+
+        if wb is not None and write != wb and (write, wb) in co:
+            return False  # write is co-before the last local write before the read
+        if wa is not None:
+            if write == wa or (wa, write) in co:
+                return False  # write is equal to or co-after the first local write after
+        return True
+
+
+class OperationalSimulator:
+    """Litmus-test simulation through the intermediate machine.
+
+    This is the "operational" engine of the Tab. IX comparison: it
+    enumerates candidate executions exactly like herd, but decides each
+    one by searching for an accepting machine interleaving instead of
+    checking the axioms.
+    """
+
+    def __init__(self, architecture: Optional[Architecture] = None):
+        self.machine = IntermediateMachine(architecture)
+
+    @property
+    def name(self) -> str:
+        return f"operational({self.machine.architecture.name})"
+
+    def allowed_outcomes(self, test: LitmusTest) -> FrozenSet:
+        outcomes = set()
+        for candidate in candidate_executions(test):
+            if self.machine.accepts(candidate.execution):
+                outcomes.add(candidate.outcome(test))
+        return frozenset(outcomes)
+
+    def verdict(self, test: LitmusTest) -> str:
+        """Allow/Forbid verdict for the test's target outcome."""
+        assert test.condition is not None, "litmus tests carry a final condition"
+        for candidate in candidate_executions(test):
+            if not self.machine.accepts(candidate.execution):
+                continue
+            outcome = dict(candidate.outcome(test))
+            matches = all(
+                outcome.get(
+                    f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+                )
+                == atom.value
+                for atom in test.condition.atoms
+            )
+            if matches:
+                return "Allow"
+        return "Forbid"

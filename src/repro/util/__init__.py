@@ -1,0 +1,30 @@
+"""Utility algorithms shared across the library.
+
+The most heavily used pieces are the directed-graph helpers in
+:mod:`repro.util.digraph` (cycle detection, transitive closure, linear
+extensions) which back the relational axioms of the memory models.
+"""
+
+from repro.util.digraph import (
+    has_cycle,
+    find_cycle,
+    is_acyclic,
+    is_irreflexive,
+    transitive_closure,
+    reflexive_transitive_closure,
+    topological_sort,
+    linear_extensions,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "has_cycle",
+    "find_cycle",
+    "is_acyclic",
+    "is_irreflexive",
+    "transitive_closure",
+    "reflexive_transitive_closure",
+    "topological_sort",
+    "linear_extensions",
+    "strongly_connected_components",
+]

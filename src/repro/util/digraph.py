@@ -1,0 +1,308 @@
+"""Directed-graph algorithms over edge sets.
+
+All functions accept a graph either as an iterable of ``(src, dst)``
+pairs or as an adjacency mapping ``{node: iterable_of_successors}``.
+Nodes may be any hashable objects (in practice :class:`repro.core.events.Event`).
+
+These helpers back the axiom checks of the memory models (acyclicity,
+irreflexivity), the enumeration of coherence orders (linear extensions)
+and the mole cycle search (elementary cycles, SCCs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import permutations
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+GraphLike = Union[Iterable[Edge], Mapping[Node, Iterable[Node]]]
+
+
+def _as_adjacency(graph: GraphLike) -> Dict[Node, Set[Node]]:
+    """Normalise *graph* to an adjacency mapping."""
+    adj: Dict[Node, Set[Node]] = defaultdict(set)
+    if isinstance(graph, Mapping):
+        for src, dsts in graph.items():
+            adj[src].update(dsts)
+            for dst in dsts:
+                adj.setdefault(dst, set())
+    else:
+        for src, dst in graph:
+            adj[src].add(dst)
+            adj.setdefault(dst, set())
+    return adj
+
+
+def _nodes(adj: Mapping[Node, Set[Node]]) -> Set[Node]:
+    nodes: Set[Node] = set(adj.keys())
+    for dsts in adj.values():
+        nodes.update(dsts)
+    return nodes
+
+
+def is_irreflexive(graph: GraphLike) -> bool:
+    """Return True iff no edge relates a node to itself."""
+    adj = _as_adjacency(graph)
+    return all(src not in dsts for src, dsts in adj.items())
+
+
+def has_cycle(graph: GraphLike) -> bool:
+    """Return True iff the graph contains a (possibly self-loop) cycle."""
+    return find_cycle(graph) is not None
+
+
+def is_acyclic(graph: GraphLike) -> bool:
+    """Return True iff the graph contains no cycle."""
+    return not has_cycle(graph)
+
+
+def find_cycle(graph: GraphLike) -> Optional[List[Node]]:
+    """Return one cycle as a list of nodes ``[n0, n1, ..., n0]``, or None.
+
+    Uses an iterative colouring DFS, so it copes with deep graphs without
+    hitting Python's recursion limit.
+    """
+    adj = _as_adjacency(graph)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Node, int] = {node: WHITE for node in _nodes(adj)}
+    parent: Dict[Node, Node] = {}
+
+    for root in list(colour):
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(sorted(adj[root], key=repr)))]
+        colour[root] = GREY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(sorted(adj[succ], key=repr))))
+                    advanced = True
+                    break
+                if colour[succ] == GREY:
+                    # Found a back edge node -> succ: reconstruct the cycle.
+                    cycle = [node]
+                    cur = node
+                    while cur != succ:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def transitive_closure(graph: GraphLike) -> FrozenSet[Edge]:
+    """Return the transitive closure as a frozenset of edges.
+
+    Implemented as one BFS per source node; adequate for the small event
+    graphs of litmus tests (tens of nodes).
+    """
+    adj = _as_adjacency(graph)
+    closure: Set[Edge] = set()
+    for src in _nodes(adj):
+        seen: Set[Node] = set()
+        frontier = list(adj.get(src, ()))
+        while frontier:
+            nxt = frontier.pop()
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            frontier.extend(adj.get(nxt, ()))
+        closure.update((src, dst) for dst in seen)
+    return frozenset(closure)
+
+
+def reflexive_transitive_closure(graph: GraphLike, universe: Iterable[Node] = ()) -> FrozenSet[Edge]:
+    """Return the reflexive-transitive closure over the nodes of the graph.
+
+    ``universe`` may supply extra nodes whose reflexive pairs must appear
+    even if they have no incident edge.
+    """
+    adj = _as_adjacency(graph)
+    closure = set(transitive_closure(adj))
+    nodes = _nodes(adj) | set(universe)
+    closure.update((node, node) for node in nodes)
+    return frozenset(closure)
+
+
+def topological_sort(graph: GraphLike, nodes: Iterable[Node] = ()) -> List[Node]:
+    """Return one topological order of the graph's nodes.
+
+    Raises ValueError if the graph has a cycle.  ``nodes`` may add
+    isolated nodes that must appear in the output.
+    """
+    adj = _as_adjacency(graph)
+    all_nodes = _nodes(adj) | set(nodes)
+    indegree: Dict[Node, int] = {node: 0 for node in all_nodes}
+    for src, dsts in adj.items():
+        for dst in dsts:
+            indegree[dst] += 1
+    ready = sorted((n for n, d in indegree.items() if d == 0), key=repr)
+    order: List[Node] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in sorted(adj.get(node, ()), key=repr):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(all_nodes):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def linear_extensions(
+    nodes: Sequence[Node], constraints: Iterable[Edge]
+) -> Iterator[Tuple[Node, ...]]:
+    """Yield every total order of *nodes* compatible with *constraints*.
+
+    ``constraints`` is a set of (before, after) pairs.  Used to enumerate
+    coherence orders: all total orders of the writes to one location that
+    respect already-known ordering constraints.
+    """
+    nodes = list(nodes)
+    must_precede: Dict[Node, Set[Node]] = defaultdict(set)
+    relevant = set(nodes)
+    for before, after in constraints:
+        if before in relevant and after in relevant:
+            must_precede[after].add(before)
+
+    if len(nodes) <= 1:
+        yield tuple(nodes)
+        return
+
+    # Small n in practice (writes per location in a litmus test); a
+    # permutation filter with an early feasibility check is plenty.
+    def extend(prefix: List[Node], remaining: Set[Node]) -> Iterator[Tuple[Node, ...]]:
+        if not remaining:
+            yield tuple(prefix)
+            return
+        placed = set(prefix)
+        for node in sorted(remaining, key=repr):
+            if must_precede[node] <= placed:
+                prefix.append(node)
+                remaining.remove(node)
+                yield from extend(prefix, remaining)
+                remaining.add(node)
+                prefix.pop()
+
+    yield from extend([], set(nodes))
+
+
+def strongly_connected_components(graph: GraphLike) -> List[FrozenSet[Node]]:
+    """Return the SCCs of the graph (Tarjan's algorithm, iterative)."""
+    adj = _as_adjacency(graph)
+    index_counter = [0]
+    stack: List[Node] = []
+    lowlink: Dict[Node, int] = {}
+    index: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    result: List[FrozenSet[Node]] = []
+
+    def strongconnect(root: Node) -> None:
+        work: List[Tuple[Node, Iterator[Node]]] = [(root, iter(sorted(adj[root], key=repr)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adj[succ], key=repr))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+
+    for node in _nodes(adj):
+        if node not in index:
+            strongconnect(node)
+    return result
+
+
+def elementary_cycles(graph: GraphLike, max_length: Optional[int] = None) -> List[List[Node]]:
+    """Enumerate elementary cycles (Johnson-style DFS within SCCs).
+
+    Returns each cycle as a list of nodes without repeating the first
+    node at the end.  ``max_length`` bounds the cycle length (in nodes),
+    which keeps the mole search tractable on larger programs.
+    """
+    adj = _as_adjacency(graph)
+    cycles: List[List[Node]] = []
+
+    for component in strongly_connected_components(adj):
+        if len(component) == 1:
+            node = next(iter(component))
+            if node in adj.get(node, ()):
+                cycles.append([node])
+            continue
+        sub = {node: set(adj[node]) & component for node in component}
+        order = sorted(component, key=repr)
+        position = {node: i for i, node in enumerate(order)}
+
+        for start in order:
+            path: List[Node] = [start]
+            blocked: Set[Node] = {start}
+
+            def search(node: Node) -> None:
+                for succ in sorted(sub[node], key=repr):
+                    if position[succ] < position[start]:
+                        continue
+                    if succ == start:
+                        cycles.append(list(path))
+                        continue
+                    if succ in blocked:
+                        continue
+                    if max_length is not None and len(path) >= max_length:
+                        continue
+                    blocked.add(succ)
+                    path.append(succ)
+                    search(succ)
+                    path.pop()
+                    blocked.discard(succ)
+
+            search(start)
+    return cycles

@@ -1,0 +1,205 @@
+"""The bounded model checker (the paper's CBMC experiments, Sec. 8.4).
+
+Given a bounded concurrent program and a memory model, the checker
+decides whether an assertion violation is *reachable*: it enumerates the
+program's candidate executions (per-thread bounded paths × read-from
+maps × coherence orders), keeps the ones the model allows, and reports
+the first allowed execution in which some assertion evaluates to false.
+
+Three backends decide whether a candidate is allowed — the three tools
+compared in Tab. X/XI:
+
+* ``"axiomatic"`` — this paper's single-event axiomatic model (the CBMC
+  encoding of the present model);
+* ``"multi-event"`` — the multi-event axiomatic model of Mador-Haim et
+  al. (CAV 2012);
+* ``"operational"`` — explicit-state exploration of the intermediate
+  machine, standing in for the goto-instrument operational
+  instrumentation.
+
+``verify_litmus`` wraps a litmus test as a reachability query (is the
+final condition's outcome reachable?), which is how the paper produced
+the per-litmus-test timings of Tab. X/XI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.architectures import get_architecture
+from repro.core.model import Architecture, Model
+from repro.herd.enumerate import Candidate, candidate_executions, candidates_of_combination
+from repro.litmus.ast import LitmusTest
+from repro.multi_event import MultiEventModel
+from repro.operational import IntermediateMachine
+from repro.verification.program import Program
+from repro.verification.semantics import ProgramPath, enumerate_program_paths
+
+BACKENDS = ("axiomatic", "multi-event", "operational")
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification run."""
+
+    name: str
+    model_name: str
+    backend: str
+    safe: bool
+    counterexample: Optional[Candidate]
+    violated_assertion: Optional[str]
+    candidates_explored: int
+    allowed_executions: int
+    elapsed_seconds: float
+
+    def describe(self) -> str:
+        status = "SAFE" if self.safe else f"UNSAFE ({self.violated_assertion})"
+        return (
+            f"{self.name} under {self.model_name} [{self.backend}]: {status} "
+            f"({self.candidates_explored} candidates, {self.allowed_executions} allowed, "
+            f"{self.elapsed_seconds:.3f}s)"
+        )
+
+
+class BoundedModelChecker:
+    """A reusable checker bound to one memory model and one backend."""
+
+    def __init__(
+        self,
+        model: Union[str, Architecture, Model],
+        backend: str = "axiomatic",
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+        self.backend = backend
+        if isinstance(model, str):
+            architecture: Optional[Architecture] = get_architecture(model)
+        elif isinstance(model, Architecture):
+            architecture = model
+        elif isinstance(model, Model):
+            architecture = model.architecture
+        else:
+            raise TypeError(f"cannot interpret {model!r} as a model")
+        self.architecture = architecture
+        if backend == "axiomatic":
+            self._decider = Model(architecture)
+            self._allows = self._decider.allows
+        elif backend == "multi-event":
+            self._decider = MultiEventModel(architecture)
+            self._allows = self._decider.allows
+        else:
+            self._decider = IntermediateMachine(architecture)
+            self._allows = self._decider.accepts
+
+    @property
+    def model_name(self) -> str:
+        return self.architecture.name
+
+    # -- programs -------------------------------------------------------------------
+
+    def verify(self, program: Program) -> VerificationResult:
+        """Check every assertion of the program under the memory model."""
+        start = time.perf_counter()
+        per_thread_paths: List[List[ProgramPath]] = [
+            enumerate_program_paths(program, thread)
+            for thread in range(program.num_threads())
+        ]
+        candidates_explored = 0
+        allowed = 0
+        counterexample: Optional[Candidate] = None
+        violated: Optional[str] = None
+
+        for combination in itertools.product(*per_thread_paths):
+            failing = [
+                outcome.message
+                for path in combination
+                for outcome in path.assertions
+                if not outcome.holds
+            ]
+            executions = candidates_of_combination(
+                [path.execution for path in combination],
+                program.shared_variables(),
+                program.shared,
+            )
+            for candidate in executions:
+                candidates_explored += 1
+                if not self._allows(candidate.execution):
+                    continue
+                allowed += 1
+                if failing and counterexample is None:
+                    counterexample = candidate
+                    violated = failing[0]
+        elapsed = time.perf_counter() - start
+        return VerificationResult(
+            name=program.name,
+            model_name=self.model_name,
+            backend=self.backend,
+            safe=counterexample is None,
+            counterexample=counterexample,
+            violated_assertion=violated,
+            candidates_explored=candidates_explored,
+            allowed_executions=allowed,
+            elapsed_seconds=elapsed,
+        )
+
+    # -- litmus tests ------------------------------------------------------------------
+
+    def verify_litmus(self, test: LitmusTest) -> VerificationResult:
+        """Reachability of the litmus test's final condition (Tab. X/XI).
+
+        The test is "safe" when its target outcome is unreachable under
+        the model (the model forbids it), "unsafe" when reachable.
+        """
+        assert test.condition is not None
+        start = time.perf_counter()
+        candidates_explored = 0
+        allowed = 0
+        counterexample: Optional[Candidate] = None
+        for candidate in candidate_executions(test):
+            candidates_explored += 1
+            if not self._allows(candidate.execution):
+                continue
+            allowed += 1
+            outcome = dict(candidate.outcome(test))
+            matches = all(
+                outcome.get(
+                    f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+                )
+                == atom.value
+                for atom in test.condition.atoms
+            )
+            if matches and counterexample is None:
+                counterexample = candidate
+        elapsed = time.perf_counter() - start
+        return VerificationResult(
+            name=test.name,
+            model_name=self.model_name,
+            backend=self.backend,
+            safe=counterexample is None,
+            counterexample=counterexample,
+            violated_assertion=str(test.condition) if counterexample is not None else None,
+            candidates_explored=candidates_explored,
+            allowed_executions=allowed,
+            elapsed_seconds=elapsed,
+        )
+
+
+def verify_program(
+    program: Program,
+    model: Union[str, Architecture, Model] = "power",
+    backend: str = "axiomatic",
+) -> VerificationResult:
+    """Convenience wrapper: verify a program under a model with a backend."""
+    return BoundedModelChecker(model, backend).verify(program)
+
+
+def verify_litmus(
+    test: LitmusTest,
+    model: Union[str, Architecture, Model] = "power",
+    backend: str = "axiomatic",
+) -> VerificationResult:
+    """Convenience wrapper: check reachability of a litmus test's final state."""
+    return BoundedModelChecker(model, backend).verify_litmus(test)

@@ -1,0 +1,210 @@
+"""A small concurrent C-like intermediate representation.
+
+Programs are a set of *shared* variables (with initial values), one
+statement list per thread, and inline assertions.  The IR deliberately
+mirrors what the goto-programs of the paper's tool chain contain after
+simplification: every access to a shared variable is an explicit load or
+store, locals are thread-private, loops carry an explicit unrolling
+bound, and fences are named after the assembly mnemonics.
+
+Expressions range over locals and constants only — reading a shared
+variable requires an explicit :class:`LoadStmt` into a local first,
+which is what makes the memory events of the program explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+# -- expressions -----------------------------------------------------------------
+
+class Expr:
+    """Base class of expressions over locals and constants."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A thread-local variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is one of ``+ - * == != < <= and or xor``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+_OPERATIONS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "xor": lambda a, b: a ^ b,
+}
+
+
+def evaluate(expr: Expr, locals_: Mapping[str, int]) -> int:
+    """Evaluate an expression over a concrete local state."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return int(locals_.get(expr.name, 0))
+    if isinstance(expr, BinOp):
+        if expr.op not in _OPERATIONS:
+            raise ValueError(f"unknown operator {expr.op!r}")
+        return _OPERATIONS[expr.op](evaluate(expr.left, locals_), evaluate(expr.right, locals_))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expression_variables(expr: Expr) -> Tuple[str, ...]:
+    """The local variables an expression reads (for dependency tracking)."""
+    if isinstance(expr, Const):
+        return ()
+    if isinstance(expr, Var):
+        return (expr.name,)
+    if isinstance(expr, BinOp):
+        return expression_variables(expr.left) + expression_variables(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expression_constants(expr: Expr) -> Tuple[int, ...]:
+    if isinstance(expr, Const):
+        return (expr.value,)
+    if isinstance(expr, Var):
+        return ()
+    if isinstance(expr, BinOp):
+        return expression_constants(expr.left) + expression_constants(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# -- statements ------------------------------------------------------------------
+
+class Statement:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``local := expr`` (no shared access)."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class LoadStmt(Statement):
+    """``local := shared`` — a memory read event.
+
+    ``addr_dep_on`` optionally names a local whose value the *address*
+    of this access depends on — the IR's rendering of a pointer
+    dereference (``p->field`` after ``p = load(gbl)``), which is how the
+    RCU read side orders its accesses.
+    """
+
+    target: str
+    shared: str
+    addr_dep_on: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StoreStmt(Statement):
+    """``shared := expr`` — a memory write event."""
+
+    shared: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class FenceStmt(Statement):
+    """A memory fence (sync, lwsync, dmb, mfence, isync, isb...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IfStmt(Statement):
+    condition: Expr
+    then_branch: Tuple[Statement, ...] = ()
+    else_branch: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStmt(Statement):
+    """A loop with an explicit unrolling bound (bounded model checking)."""
+
+    condition: Expr
+    body: Tuple[Statement, ...]
+    bound: int = 2
+
+
+@dataclass(frozen=True)
+class AssertStmt(Statement):
+    """An inline safety assertion over the thread's locals."""
+
+    condition: Expr
+    message: str = ""
+
+
+@dataclass
+class Program:
+    """A whole concurrent program."""
+
+    name: str
+    shared: Dict[str, int]
+    threads: List[Tuple[Statement, ...]]
+    description: str = ""
+
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def constants(self) -> Tuple[int, ...]:
+        """All integer constants occurring in the program (the value domain)."""
+        values = set(self.shared.values()) | {0, 1}
+
+        def visit(statements: Sequence[Statement]) -> None:
+            for statement in statements:
+                if isinstance(statement, Assign):
+                    values.update(expression_constants(statement.expr))
+                elif isinstance(statement, StoreStmt):
+                    values.update(expression_constants(statement.expr))
+                elif isinstance(statement, (IfStmt,)):
+                    values.update(expression_constants(statement.condition))
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, WhileStmt):
+                    values.update(expression_constants(statement.condition))
+                    visit(statement.body)
+                elif isinstance(statement, AssertStmt):
+                    values.update(expression_constants(statement.condition))
+
+        for thread in self.threads:
+            visit(thread)
+        return tuple(sorted(values))
+
+    def shared_variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.shared))

@@ -1,0 +1,146 @@
+"""Unit and property tests for the directed-graph helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import digraph
+
+
+def test_is_acyclic_simple_chain():
+    assert digraph.is_acyclic([(1, 2), (2, 3), (3, 4)])
+
+
+def test_has_cycle_simple_loop():
+    assert digraph.has_cycle([(1, 2), (2, 3), (3, 1)])
+
+
+def test_self_loop_is_a_cycle_and_not_irreflexive():
+    assert digraph.has_cycle([(1, 1)])
+    assert not digraph.is_irreflexive([(1, 1)])
+    assert digraph.is_irreflexive([(1, 2), (2, 3)])
+
+
+def test_find_cycle_returns_closed_path():
+    cycle = digraph.find_cycle([(1, 2), (2, 3), (3, 1), (3, 4)])
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    edges = set(zip(cycle, cycle[1:]))
+    assert edges <= {(1, 2), (2, 3), (3, 1), (3, 4)}
+
+
+def test_find_cycle_none_on_dag():
+    assert digraph.find_cycle([(1, 2), (1, 3), (2, 4), (3, 4)]) is None
+
+
+def test_transitive_closure_chain():
+    closure = digraph.transitive_closure([(1, 2), (2, 3)])
+    assert closure == frozenset({(1, 2), (2, 3), (1, 3)})
+
+
+def test_reflexive_transitive_closure_includes_universe():
+    closure = digraph.reflexive_transitive_closure([(1, 2)], universe=[7])
+    assert (7, 7) in closure
+    assert (1, 1) in closure and (2, 2) in closure and (1, 2) in closure
+
+
+def test_topological_sort_respects_edges():
+    order = digraph.topological_sort([(1, 2), (1, 3), (3, 4)], nodes=[5])
+    assert set(order) == {1, 2, 3, 4, 5}
+    assert order.index(1) < order.index(2)
+    assert order.index(3) < order.index(4)
+
+
+def test_topological_sort_raises_on_cycle():
+    with pytest.raises(ValueError):
+        digraph.topological_sort([(1, 2), (2, 1)])
+
+
+def test_linear_extensions_all_permutations_without_constraints():
+    extensions = list(digraph.linear_extensions([1, 2, 3], []))
+    assert len(extensions) == 6
+    assert len(set(extensions)) == 6
+
+
+def test_linear_extensions_respect_constraints():
+    extensions = list(digraph.linear_extensions([1, 2, 3], [(1, 2), (1, 3)]))
+    assert all(order[0] == 1 for order in extensions)
+    assert len(extensions) == 2
+
+
+def test_linear_extensions_empty_and_singleton():
+    assert list(digraph.linear_extensions([], [])) == [()]
+    assert list(digraph.linear_extensions([9], [])) == [(9,)]
+
+
+def test_strongly_connected_components():
+    sccs = digraph.strongly_connected_components([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+    assert frozenset({1, 2}) in sccs
+    assert frozenset({3, 4}) in sccs
+
+
+def test_elementary_cycles_finds_both_loops():
+    cycles = digraph.elementary_cycles([(1, 2), (2, 1), (2, 3), (3, 2)])
+    normalised = {frozenset(cycle) for cycle in cycles}
+    assert frozenset({1, 2}) in normalised
+    assert frozenset({2, 3}) in normalised
+
+
+def test_elementary_cycles_respects_max_length():
+    edges = [(1, 2), (2, 3), (3, 4), (4, 1)]
+    assert digraph.elementary_cycles(edges, max_length=3) == []
+    assert len(digraph.elementary_cycles(edges, max_length=4)) == 1
+
+
+# -- property-based tests -------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=20
+)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_property_acyclicity_matches_topological_sortability(edges):
+    acyclic = digraph.is_acyclic(edges)
+    try:
+        digraph.topological_sort(edges)
+        sortable = True
+    except ValueError:
+        sortable = False
+    assert acyclic == sortable
+
+
+@given(edges=edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_property_transitive_closure_is_idempotent(edges):
+    once = digraph.transitive_closure(edges)
+    twice = digraph.transitive_closure(once)
+    assert once == twice
+
+
+@given(edges=edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_property_cycle_witness_is_real(edges):
+    cycle = digraph.find_cycle(edges)
+    if cycle is None:
+        assert digraph.is_acyclic(edges)
+    else:
+        edge_set = set(edges)
+        assert all(pair in edge_set for pair in zip(cycle, cycle[1:]))
+        assert cycle[0] == cycle[-1]
+
+
+@given(
+    nodes=st.lists(st.integers(0, 5), min_size=0, max_size=5, unique=True),
+    constraints=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_linear_extensions_respect_constraints(nodes, constraints):
+    relevant = [(a, b) for a, b in constraints if a in nodes and b in nodes and a != b]
+    if not digraph.is_acyclic(relevant):
+        return
+    extensions = list(digraph.linear_extensions(nodes, relevant))
+    assert extensions, "an acyclic constraint set always has at least one extension"
+    for order in extensions:
+        positions = {node: index for index, node in enumerate(order)}
+        assert all(positions[a] < positions[b] for a, b in relevant)

@@ -1,0 +1,154 @@
+"""Tests for the diy cycle vocabulary, generator, naming and families."""
+
+import pytest
+
+from repro.diy.cycles import Cycle, coe, coi, dep, fenced, fre, fri, po, rfe, rfi
+from repro.diy.families import extended_family, standard_family, two_thread_family
+from repro.diy.generator import generate_test
+from repro.diy.naming import cycle_name, systematic_name
+from repro.herd import simulate
+from repro.litmus.instructions import Fence
+
+
+def test_edge_labels():
+    assert rfe().label() == "Rfe"
+    assert fri().label() == "Fri"
+    assert po("W", "R").label() == "PodWR"
+    assert fenced("lwsync", "W", "W").label() == "Fenced.lwsync.dWW"
+    assert dep("addr", "R").label() == "DpaddrdRR"
+
+
+def test_edge_validation():
+    with pytest.raises(ValueError):
+        dep("data", "R")  # data dependencies target writes
+    with pytest.raises(ValueError):
+        dep("frobnicate", "W")
+    with pytest.raises(ValueError):
+        fenced(None, "W", "W")  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        po("X", "R")
+
+
+def test_cycle_requires_external_communication():
+    with pytest.raises(ValueError):
+        Cycle.of([po("W", "W"), po("W", "W")])
+
+
+def test_cycle_direction_consistency_check():
+    with pytest.raises(ValueError):
+        Cycle.of([rfe(), coe()]).directions()  # rfe targets a read, coe starts at a write
+
+
+def test_mp_cycle_structure():
+    cycle = Cycle.of([po("W", "W"), rfe(), po("R", "R"), fre()])
+    assert cycle.directions() == ["W", "W", "R", "R"]
+    assert cycle.num_threads() == 2
+    assert cycle.thread_of_events() == [0, 0, 1, 1]
+    assert cycle.location_classes() == [0, 1, 1, 0]
+
+
+def test_classic_names():
+    assert cycle_name(Cycle.of([po("W", "W"), rfe(), po("R", "R"), fre()])) == "mp"
+    assert cycle_name(Cycle.of([po("W", "R"), fre(), po("W", "R"), fre()])) == "sb"
+    assert cycle_name(Cycle.of([po("R", "W"), rfe(), po("R", "W"), rfe()])) == "lb"
+    assert cycle_name(Cycle.of([po("W", "W"), coe(), po("W", "W"), coe()])) == "2+2w"
+    assert (
+        cycle_name(
+            Cycle.of([fenced("sync", "W", "R"), fre(), fenced("sync", "W", "R"), fre()])
+        )
+        == "sb+syncs"
+    )
+    assert (
+        cycle_name(
+            Cycle.of([fenced("lwsync", "W", "W"), rfe(), dep("addr", "R"), fre()])
+        )
+        == "mp+lwsync+addr"
+    )
+    assert (
+        cycle_name(
+            Cycle.of([rfe(), po("R", "R"), fre(), rfe(), po("R", "R"), fre()])
+        )
+        == "iriw"
+    )
+
+
+def test_systematic_name():
+    cycle = Cycle.of([po("W", "W"), rfe(), po("R", "R"), fre()])
+    assert systematic_name(cycle) == "ww+rr"
+
+
+def test_generated_mp_program_shape():
+    test = generate_test(Cycle.of([fenced("lwsync", "W", "W"), rfe(), dep("addr", "R"), fre()]))
+    assert test.num_threads() == 2
+    assert any(isinstance(i, Fence) and i.name == "lwsync" for i in test.threads[0])
+    assert test.condition is not None and test.condition.kind == "exists"
+    # Exactly one read per reader thread is pinned plus no memory atom
+    # (single write per location).
+    assert all(atom.kind == "reg" for atom in test.condition.atoms)
+
+
+def test_generated_2plus2w_pins_final_memory():
+    test = generate_test(Cycle.of([po("W", "W"), coe(), po("W", "W"), coe()]))
+    memory_atoms = {atom.name: atom.value for atom in test.condition.atoms if atom.kind == "mem"}
+    assert memory_atoms == {"x": 2, "y": 2}
+
+
+def test_generated_tests_reproduce_paper_verdicts():
+    cases = [
+        ([fenced("lwsync", "W", "W"), rfe(), dep("addr", "R"), fre()], "power", "Forbid"),
+        ([po("W", "W"), rfe(), po("R", "R"), fre()], "power", "Allow"),
+        ([fenced("sync", "W", "R"), fre(), fenced("sync", "W", "R"), fre()], "power", "Forbid"),
+        ([fenced("dmb", "W", "W"), rfe(), fri(), rfi(), dep("ctrlisb", "R"), fre()], "arm", "Allow"),
+        ([fenced("dmb", "W", "W"), rfe(), fri(), rfi(), dep("ctrlisb", "R"), fre()], "power-arm", "Forbid"),
+    ]
+    for edges, model, expected in cases:
+        test = generate_test(Cycle.of(edges))
+        assert simulate(test, model).verdict == expected
+
+
+def test_internal_coherence_edge():
+    # The wsi/rfi chain of Fig. 33: two writes to the same location on one
+    # thread (coi) followed by an internal read-from.
+    cycle = Cycle.of(
+        [dep("data", "W"), rfe(), dep("data", "W"), coi(), rfi(), dep("addr", "W"), rfe()]
+    )
+    test = generate_test(cycle)
+    assert test.num_threads() == 2
+    assert simulate(test, "arm").verdict == "Allow"
+    assert simulate(test, "power-arm").verdict == "Forbid"
+
+
+def test_two_thread_family_properties():
+    tests = two_thread_family("power", limit=40)
+    assert len(tests) == 40
+    names = [test.name for test in tests]
+    assert len(names) == len(set(names))
+    for test in tests:
+        assert test.num_threads() == 2
+        assert test.condition is not None
+
+
+def test_standard_family_includes_three_thread_tests():
+    tests = standard_family("power", max_threads=3, limit=250)
+    assert any(test.num_threads() == 3 for test in tests)
+
+
+def test_extended_family_contains_iriw_shapes():
+    tests = extended_family("power", limit=30)
+    assert any(test.num_threads() == 4 for test in tests)
+
+
+def test_family_tests_simulate_cleanly_under_their_architecture():
+    for test in two_thread_family("power", limit=12):
+        result = simulate(test, "power")
+        assert result.num_candidates > 0
+        assert result.verdict in ("Allow", "Forbid")
+
+
+def test_x86_family_uses_mfence_only():
+    tests = two_thread_family("x86", limit=20)
+    for test in tests:
+        for instructions in test.threads:
+            for instruction in instructions:
+                if isinstance(instruction, Fence):
+                    assert instruction.name == "mfence"

@@ -1,0 +1,102 @@
+"""Tests for candidate-execution enumeration."""
+
+from repro.core.execution import Execution
+from repro.herd.enumerate import Candidate, candidate_executions, count_candidates
+from repro.litmus.ast import TestBuilder
+from repro.litmus.registry import get_test
+
+
+def _simple_mp():
+    builder = TestBuilder("mp-builder", arch="power")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    t0.store("y", 1)
+    t1 = builder.thread()
+    r1 = t1.load("y")
+    r2 = t1.load("x")
+    builder.exists({(1, r1): 1, (1, r2): 0})
+    return builder.build(), r1, r2
+
+
+def test_every_candidate_is_well_formed():
+    test, _, _ = _simple_mp()
+    candidates = list(candidate_executions(test))
+    assert candidates
+    for candidate in candidates:
+        candidate.execution.validate()
+
+
+def test_mp_candidate_count_and_outcomes():
+    test, r1, r2 = _simple_mp()
+    candidates = list(candidate_executions(test))
+    # Two loads, two possible values each; every combination has exactly one
+    # rf/co choice.
+    assert len(candidates) == 4
+    outcomes = {candidate.outcome(test) for candidate in candidates}
+    assert len(outcomes) == 4
+
+
+def test_initial_writes_are_present_and_co_first():
+    test, _, _ = _simple_mp()
+    candidate = next(iter(candidate_executions(test)))
+    execution = candidate.execution
+    init_writes = execution.init_writes
+    assert {w.location for w in init_writes} == {"x", "y"}
+    co_closure = execution.co.transitive_closure()
+    for init in init_writes:
+        for write in execution.writes:
+            if write.location == init.location and not write.is_init():
+                assert (init, write) in co_closure
+
+
+def test_final_registers_follow_load_values():
+    test, r1, r2 = _simple_mp()
+    for candidate in candidate_executions(test):
+        reads = {event.location: event.value for event in candidate.execution.reads}
+        assert candidate.final_registers[(1, r1)] == reads["y"]
+        assert candidate.final_registers[(1, r2)] == reads["x"]
+
+
+def test_coherence_enumeration_multiplies_candidates():
+    # Two writes to the same location on different threads: two coherence
+    # orders per rf choice.
+    builder = TestBuilder("2w", arch="power")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    t1 = builder.thread()
+    t1.store("x", 2)
+    builder.exists({"x": 2})
+    test = builder.build()
+    assert count_candidates(test) == 2
+
+
+def test_infeasible_read_values_are_dropped():
+    # A single thread loading x can only see 0 (init) or 1 (its own store is
+    # absent here); the value 2 in the condition enlarges the domain, but the
+    # combination where the load returns 2 has no read-from source.
+    builder = TestBuilder("drop", arch="power")
+    t0 = builder.thread()
+    register = t0.load("x")
+    t1 = builder.thread()
+    t1.store("x", 1)
+    builder.exists({(0, register): 2})
+    test = builder.build()
+    values = {
+        candidate.final_registers[(0, register)]
+        for candidate in candidate_executions(test)
+    }
+    assert values == {0, 1}
+
+
+def test_registry_iriw_candidate_count():
+    test = get_test("iriw")
+    # Two reader threads with two reads each over {0,1}: 16 combinations,
+    # each with a unique rf/co assignment.
+    assert count_candidates(test) == 16
+
+
+def test_candidate_outcome_projects_condition_registers():
+    test = get_test("sb")
+    candidate = next(iter(candidate_executions(test)))
+    outcome = dict(candidate.outcome(test))
+    assert set(outcome) == {f"{atom.thread}:{atom.name}" for atom in test.condition.atoms}

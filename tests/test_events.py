@@ -1,0 +1,73 @@
+"""Tests for events and actions."""
+
+from repro.core.events import (
+    BranchEvent,
+    Event,
+    FenceEvent,
+    MemoryRead,
+    MemoryWrite,
+    RegisterRead,
+    RegisterWrite,
+    event_name,
+    addr,
+    proc,
+)
+
+
+def test_action_predicates():
+    assert MemoryRead("x", 0).is_read()
+    assert MemoryRead("x", 0).is_memory_access()
+    assert MemoryWrite("x", 1).is_write()
+    assert not MemoryWrite("x", 1).is_read()
+    assert RegisterRead("r1", 0).is_register_access()
+    assert RegisterWrite("r1", 0).is_register_access()
+    assert BranchEvent().is_branch()
+    assert FenceEvent("sync").is_fence()
+
+
+def test_event_accessors():
+    event = Event(thread=2, poi=1, eid="a", action=MemoryWrite("y", 3))
+    assert proc(event) == 2
+    assert addr(event) == "y"
+    assert event.value == 3
+    assert event.is_write() and not event.is_read()
+    assert not event.is_init()
+
+
+def test_init_event_detection():
+    event = Event(thread=-1, poi=0, eid="init_x", action=MemoryWrite("x", 0))
+    assert event.is_init()
+
+
+def test_fence_event_name_matching():
+    event = Event(thread=0, poi=0, eid="f", action=FenceEvent("lwsync"))
+    assert event.is_fence()
+    assert event.is_fence("lwsync")
+    assert not event.is_fence("sync")
+
+
+def test_register_event_accessors():
+    event = Event(thread=0, poi=0, eid="r", action=RegisterRead("r5", 7))
+    assert event.register == "r5"
+    assert event.location is None
+    assert event.value == 7
+
+
+def test_event_ordering_is_by_thread_then_poi():
+    first = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    second = Event(thread=0, poi=1, eid="b", action=MemoryWrite("x", 2))
+    third = Event(thread=1, poi=0, eid="c", action=MemoryWrite("x", 3))
+    assert sorted([third, second, first]) == [first, second, third]
+
+
+def test_event_string_rendering():
+    event = Event(thread=0, poi=0, eid="a", action=MemoryRead("x", 1))
+    assert "Rx=1" in str(event)
+    assert "T0" in str(event)
+
+
+def test_event_name_generation():
+    assert event_name(0) == "a"
+    assert event_name(25) == "z"
+    assert event_name(26) == "aa"
+    assert event_name(27) == "ab"

@@ -1,0 +1,150 @@
+"""Tests for candidate executions and their derived relations."""
+
+import pytest
+
+from repro.core.events import Event, MemoryRead, MemoryWrite
+from repro.core.execution import Execution, ExecutionError
+from repro.core.relation import Relation
+
+
+def _mp_execution(read_x_value=0):
+    """The message-passing execution of Fig. 4 (d reads the initial state)."""
+    init_x, init_y = Execution.initial_writes(["x", "y"])
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    b = Event(thread=0, poi=1, eid="b", action=MemoryWrite("y", 1))
+    c = Event(thread=1, poi=0, eid="c", action=MemoryRead("y", 1))
+    d = Event(thread=1, poi=1, eid="d", action=MemoryRead("x", read_x_value))
+    rf_x_source = init_x if read_x_value == 0 else a
+    execution = Execution(
+        events=frozenset({init_x, init_y, a, b, c, d}),
+        po=Relation([(a, b), (c, d)]),
+        rf=Relation([(b, c), (rf_x_source, d)]),
+        co=Relation([(init_x, a), (init_y, b)]),
+    )
+    return execution, (init_x, init_y, a, b, c, d)
+
+
+def test_event_sets():
+    execution, (init_x, init_y, a, b, c, d) = _mp_execution()
+    assert execution.reads == frozenset({c, d})
+    assert execution.writes == frozenset({init_x, init_y, a, b})
+    assert execution.init_writes == frozenset({init_x, init_y})
+    assert execution.locations == frozenset({"x", "y"})
+    assert execution.threads == (0, 1)
+
+
+def test_fr_derivation():
+    execution, (init_x, _, a, _, _, d) = _mp_execution()
+    # d reads the initial write of x, which is co-before a, hence d fr a.
+    assert (d, a) in execution.fr
+    assert (d, a) in execution.fre
+    assert execution.fri == Relation()
+
+
+def test_po_loc_and_com():
+    execution, (init_x, init_y, a, b, c, d) = _mp_execution()
+    assert execution.po_loc == Relation()  # different locations per thread
+    assert (b, c) in execution.com
+    assert (init_x, a) in execution.com
+    assert (d, a) in execution.com
+
+
+def test_internal_external_communication_split():
+    execution, (_, _, a, b, c, d) = _mp_execution(read_x_value=1)
+    assert (b, c) in execution.rfe
+    assert (a, d) in execution.rfe
+    assert execution.rfi == Relation()
+
+
+def test_final_memory_state():
+    execution, _ = _mp_execution()
+    assert execution.final_memory_state() == {"x": 1, "y": 1}
+
+
+def test_validation_accepts_well_formed_execution():
+    execution, _ = _mp_execution()
+    execution.validate()
+
+
+def test_validation_rejects_value_mismatch():
+    init_x = Execution.initial_writes(["x"])[0]
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    r = Event(thread=1, poi=0, eid="r", action=MemoryRead("x", 2))
+    execution = Execution(
+        events=frozenset({init_x, a, r}),
+        po=Relation(),
+        rf=Relation([(a, r)]),
+        co=Relation([(init_x, a)]),
+    )
+    with pytest.raises(ExecutionError):
+        execution.validate()
+
+
+def test_validation_rejects_read_without_source():
+    init_x = Execution.initial_writes(["x"])[0]
+    r = Event(thread=1, poi=0, eid="r", action=MemoryRead("x", 0))
+    execution = Execution(
+        events=frozenset({init_x, r}),
+        po=Relation(),
+        rf=Relation(),
+        co=Relation(),
+    )
+    with pytest.raises(ExecutionError):
+        execution.validate()
+
+
+def test_validation_rejects_partial_coherence():
+    init_x = Execution.initial_writes(["x"])[0]
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    b = Event(thread=1, poi=0, eid="b", action=MemoryWrite("x", 2))
+    execution = Execution(
+        events=frozenset({init_x, a, b}),
+        po=Relation(),
+        rf=Relation(),
+        co=Relation([(init_x, a), (init_x, b)]),  # a and b not ordered
+    )
+    with pytest.raises(ExecutionError):
+        execution.validate()
+
+
+def test_direction_restrictions():
+    execution, (_, _, a, b, c, d) = _mp_execution()
+    po = execution.po
+    assert execution.restrict_ww(po) == Relation([(a, b)])
+    assert execution.restrict_rr(po) == Relation([(c, d)])
+    assert execution.restrict_wr(po) == Relation()
+
+
+def test_fences_lookup_missing_names_is_empty():
+    execution, _ = _mp_execution()
+    assert execution.fence("sync", "lwsync") == Relation()
+    assert execution.fence_names == frozenset()
+
+
+def test_rdw_and_detour_on_dedicated_executions():
+    # rdw (Fig. 27): T1 reads x twice, first from the initial state then from
+    # T0's write.
+    init_x = Execution.initial_writes(["x"])[0]
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 2))
+    b = Event(thread=1, poi=0, eid="b", action=MemoryRead("x", 0))
+    c = Event(thread=1, poi=1, eid="c", action=MemoryRead("x", 2))
+    execution = Execution(
+        events=frozenset({init_x, a, b, c}),
+        po=Relation([(b, c)]),
+        rf=Relation([(init_x, b), (a, c)]),
+        co=Relation([(init_x, a)]),
+    )
+    assert (b, c) in execution.rdw
+
+    # detour (Fig. 28): T0 writes x then reads T1's later write.
+    init_x = Execution.initial_writes(["x"])[0]
+    b2 = Event(thread=0, poi=0, eid="b", action=MemoryWrite("x", 1))
+    c2 = Event(thread=0, poi=1, eid="c", action=MemoryRead("x", 2))
+    a2 = Event(thread=1, poi=0, eid="a", action=MemoryWrite("x", 2))
+    execution2 = Execution(
+        events=frozenset({init_x, a2, b2, c2}),
+        po=Relation([(b2, c2)]),
+        rf=Relation([(a2, c2)]),
+        co=Relation([(init_x, b2), (b2, a2), (init_x, a2)]),
+    )
+    assert (b2, c2) in execution2.detour

@@ -1,0 +1,118 @@
+"""Tests for the simulated chips and the campaign harness (Tab. V/VI/VIII)."""
+
+import random
+
+import pytest
+
+from repro.core.architectures import power_arm_architecture
+from repro.core.model import Model
+from repro.diy.families import two_thread_family
+from repro.hardware import (
+    chip_by_name,
+    classify_anomalies,
+    default_arm_chips,
+    default_power_chips,
+    run_campaign,
+)
+from repro.litmus.registry import get_test
+
+
+def test_chip_populations_match_the_paper():
+    power_names = {chip.name for chip in default_power_chips()}
+    arm_names = {chip.name for chip in default_arm_chips()}
+    assert {"Power6", "Power7"} <= power_names
+    assert {"Tegra2", "Tegra3", "APQ8060", "Exynos4412"} <= arm_names
+    assert chip_by_name("tegra3").name == "Tegra3"
+    with pytest.raises(KeyError):
+        chip_by_name("pentium4")
+
+
+def test_power_chip_never_exhibits_lb_but_exhibits_sb():
+    chip = chip_by_name("Power7")
+    assert not chip.observes_target(get_test("lb"))
+    assert chip.observes_target(get_test("sb"))
+    assert chip.observes_target(get_test("mp"))
+    assert not chip.observes_target(get_test("mp+lwsync+addr"))
+
+
+def test_power_chip_exhibits_the_pldi_flaw_behaviour():
+    """Fig. 36: hardware observes a behaviour the PLDI 2011 model forbids."""
+    chip = chip_by_name("Power7")
+    assert chip.observes_target(get_test("mp+lwsync+addr-po-detour"))
+
+
+def test_arm_chip_exhibits_load_load_hazard_sometimes():
+    chip = chip_by_name("Tegra3")
+    rng = random.Random(7)
+    observed = any(
+        chip.observes_target(get_test("coRR"), iterations=10_000_000, rng=rng)
+        for _ in range(5)
+    )
+    assert observed, "the coRR erratum should show up within a few campaigns"
+
+
+def test_qualcomm_chips_exhibit_early_commit_behaviours():
+    chip = chip_by_name("APQ8060")
+    assert chip.observes_target(get_test("mp+dmb+fri-rfi-ctrlisb"))
+    conservative = chip_by_name("Tegra2")
+    assert not conservative.observes_target(get_test("mp+dmb+fri-rfi-ctrlisb"))
+
+
+def test_observed_outcomes_counts_are_positive_and_deterministic_per_seed():
+    chip = chip_by_name("Power6")
+    rng1 = random.Random(11)
+    rng2 = random.Random(11)
+    counts1 = chip.observed_outcomes(get_test("sb"), iterations=1000, rng=rng1)
+    counts2 = chip.observed_outcomes(get_test("sb"), iterations=1000, rng=rng2)
+    assert counts1 == counts2
+    assert all(count > 0 for count in counts1.values())
+
+
+def test_power_campaign_has_no_invalid_tests():
+    """Tab. V, Power column: the model is not invalidated by Power hardware."""
+    tests = two_thread_family("power", limit=30)
+    report = run_campaign(tests, default_power_chips()[:2], "power", iterations=10_000)
+    assert report.num_tests == 30
+    assert report.summary_row()["invalid"] == 0
+    assert report.summary_row()["unseen"] > 0  # lb-style tests are unseen
+    assert "invalid" in report.describe()
+
+
+def test_arm_campaign_power_arm_model_is_invalidated_but_arm_llh_is_not():
+    """Tab. V/VIII: the early-commit anomalies vanish when moving from the
+    Power-ARM model to the proposed ARM model; only the Tegra3 hardware
+    anomalies may remain (the paper's residual 31 invalid tests)."""
+    tests = [
+        get_test(name)
+        for name in (
+            "mp+dmb+addr",
+            "mp+dmb+fri-rfi-ctrlisb",
+            "lb+data+fri-rfi-ctrl",
+            "s+dmb+fri-rfi-data",
+            "sb+dmbs",
+        )
+    ]
+    chips = default_arm_chips()
+    report_power_arm = run_campaign(tests, chips, "power-arm", iterations=10_000)
+    report_arm = run_campaign(tests, chips, "arm", iterations=10_000)
+    assert len(report_power_arm.invalid_tests) >= 3
+    assert len(report_arm.invalid_tests) < len(report_power_arm.invalid_tests)
+    early_commit = {"mp+dmb+fri-rfi-ctrlisb", "lb+data+fri-rfi-ctrl", "s+dmb+fri-rfi-data"}
+    assert not early_commit & {result.test.name for result in report_arm.invalid_tests}
+
+
+def test_classification_of_anomalies_reports_axiom_letters():
+    tests = [get_test("mp+dmb+fri-rfi-ctrlisb"), get_test("lb+data+fri-rfi-ctrl")]
+    chips = default_arm_chips()
+    report = run_campaign(tests, chips, "power-arm", iterations=10_000)
+    classification = classify_anomalies(report, Model(power_arm_architecture()))
+    assert classification, "invalid executions must be classified"
+    assert all(set(key) <= set("STOP") for key in classification)
+    assert sum(classification.values()) >= len(report.invalid_tests)
+
+
+def test_invalid_and_unseen_are_mutually_exclusive():
+    tests = two_thread_family("arm", limit=15)
+    report = run_campaign(tests, default_arm_chips()[:2], "arm", iterations=5_000)
+    for result in report.results:
+        assert not (result.invalid and result.unseen)

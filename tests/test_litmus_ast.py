@@ -1,0 +1,109 @@
+"""Tests for the litmus AST, conditions and the programmatic builder."""
+
+import pytest
+
+from repro.litmus.ast import Condition, ConditionAtom, LitmusTest, TestBuilder
+from repro.litmus.instructions import Fence, Load, MoveImmediate, Store, Xor
+
+
+def test_condition_atom_register_and_memory():
+    reg_atom = ConditionAtom.register(1, "r1", 5)
+    mem_atom = ConditionAtom.memory("x", 2)
+    assert reg_atom.holds({(1, "r1"): 5}, {})
+    assert not reg_atom.holds({(1, "r1"): 4}, {})
+    assert mem_atom.holds({}, {"x": 2})
+    assert not mem_atom.holds({}, {})  # defaults to 0
+
+
+def test_condition_kinds_verdicts():
+    atoms = (ConditionAtom.memory("x", 1),)
+    exists = Condition("exists", atoms)
+    not_exists = Condition("not exists", atoms)
+    forall = Condition("forall", atoms)
+    assert exists.verdict(True, False) is True
+    assert exists.verdict(False, False) is False
+    assert not_exists.verdict(True, False) is False
+    assert forall.verdict(True, True) is True
+    assert forall.verdict(True, False) is False
+
+
+def test_condition_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        Condition("maybe", ())
+
+
+def test_condition_string_rendering():
+    condition = Condition(
+        "exists", (ConditionAtom.register(0, "r1", 1), ConditionAtom.memory("x", 2))
+    )
+    assert str(condition) == "exists (0:r1=1 /\\ x=2)"
+
+
+def test_builder_store_load_allocates_address_registers():
+    builder = TestBuilder("t")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    register = t0.load("y")
+    test = builder.build()
+    assert test.init_registers[(0, "rAx")] == "x"
+    assert test.init_registers[(0, "rAy")] == "y"
+    assert test.init_memory == {"x": 0, "y": 0}
+    assert isinstance(test.threads[0][0], MoveImmediate)
+    assert isinstance(test.threads[0][1], Store)
+    assert isinstance(test.threads[0][2], Load)
+    assert test.threads[0][2].dst == register
+
+
+def test_builder_addr_dep_emits_xor_and_indexed_load():
+    builder = TestBuilder("t")
+    t0 = builder.thread()
+    source = t0.load("x")
+    t0.load_addr_dep("y", dep_on=source)
+    instructions = builder.build().threads[0]
+    assert any(isinstance(i, Xor) for i in instructions)
+    indexed = [i for i in instructions if isinstance(i, Load) and i.index_reg is not None]
+    assert len(indexed) == 1
+
+
+def test_builder_ctrl_dep_emits_compare_branch_label_and_optional_fence():
+    builder = TestBuilder("t")
+    t0 = builder.thread()
+    source = t0.load("x")
+    t0.store_ctrl_dep("y", 1, dep_on=source)
+    t0.load_ctrl_dep("z", dep_on=source, cfence="isync")
+    instructions = builder.build().threads[0]
+    fences = [i for i in instructions if isinstance(i, Fence)]
+    assert [f.name for f in fences] == ["isync"]
+
+
+def test_builder_conditions_register_values():
+    builder = TestBuilder("t")
+    t0 = builder.thread()
+    register = t0.load("x")
+    builder.exists({(0, register): 3, "x": 3})
+    test = builder.build()
+    assert test.condition is not None
+    assert test.condition.kind == "exists"
+    assert {str(atom) for atom in test.condition.atoms} == {"0:r1=3", "x=3"}
+
+
+def test_locations_collects_memory_registers_and_condition():
+    builder = TestBuilder("t")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    builder.exists({"y": 0})
+    test = builder.build()
+    assert test.locations() == ("x", "y")
+
+
+def test_pretty_rendering_contains_threads_and_condition():
+    builder = TestBuilder("demo", arch="power", doc="a demo")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    t1 = builder.thread()
+    register = t1.load("x")
+    builder.exists({(1, register): 1})
+    text = builder.build().pretty()
+    assert "POWER demo" in text
+    assert "P0:" in text and "P1:" in text
+    assert "exists" in text

@@ -1,0 +1,159 @@
+"""Tests for the axioms, the architectures and the model checker."""
+
+import pytest
+
+from repro.core import axioms
+from repro.core.architectures import (
+    ARCHITECTURES,
+    arm_architecture,
+    arm_llh_architecture,
+    cpp_ra_architecture,
+    get_architecture,
+    power_architecture,
+    sc_architecture,
+    tso_architecture,
+)
+from repro.core.events import Event, MemoryRead, MemoryWrite
+from repro.core.execution import Execution
+from repro.core.model import Architecture, Model
+from repro.core.reference import is_sc_reference, is_tso_reference
+from repro.core.relation import Relation
+from repro.herd import candidate_executions, simulate
+from repro.litmus.registry import get_test
+
+
+def _sb_execution():
+    """The store-buffering execution where both reads see the initial state."""
+    init_x, init_y = Execution.initial_writes(["x", "y"])
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    b = Event(thread=0, poi=1, eid="b", action=MemoryRead("y", 0))
+    c = Event(thread=1, poi=0, eid="c", action=MemoryWrite("y", 1))
+    d = Event(thread=1, poi=1, eid="d", action=MemoryRead("x", 0))
+    return Execution(
+        events=frozenset({init_x, init_y, a, b, c, d}),
+        po=Relation([(a, b), (c, d)]),
+        rf=Relation([(init_y, b), (init_x, d)]),
+        co=Relation([(init_x, a), (init_y, c)]),
+    )
+
+
+def _coww_execution():
+    init_x = Execution.initial_writes(["x"])[0]
+    a = Event(thread=0, poi=0, eid="a", action=MemoryWrite("x", 1))
+    b = Event(thread=0, poi=1, eid="b", action=MemoryWrite("x", 2))
+    return Execution(
+        events=frozenset({init_x, a, b}),
+        po=Relation([(a, b)]),
+        rf=Relation(),
+        co=Relation([(init_x, b), (b, a), (init_x, a)]),  # co contradicts po
+    )
+
+
+def test_sc_forbids_store_buffering_but_tso_allows_it():
+    execution = _sb_execution()
+    assert not Model(sc_architecture()).allows(execution)
+    assert Model(tso_architecture()).allows(execution)
+    assert Model(power_architecture()).allows(execution)
+
+
+def test_sc_per_location_axiom_flags_coww():
+    violation = axioms.check_sc_per_location(_coww_execution())
+    assert violation is not None
+    assert violation.axiom == axioms.AXIOM_SC_PER_LOCATION
+    result = Model(power_architecture()).check(_coww_execution())
+    assert not result.allowed
+    assert axioms.AXIOM_SC_PER_LOCATION in result.violated_axioms()
+
+
+def test_llh_variant_of_sc_per_location_keeps_non_rr_checks():
+    execution = _coww_execution()
+    assert axioms.check_sc_per_location(execution, variant="llh") is not None
+    with pytest.raises(ValueError):
+        axioms.check_sc_per_location(execution, variant="bogus")
+
+
+def test_propagation_variant_validation():
+    execution = _sb_execution()
+    with pytest.raises(ValueError):
+        axioms.check_propagation(execution, Relation(), variant="bogus")
+
+
+def test_architecture_registry_contains_all_names():
+    for name in (
+        "sc",
+        "tso",
+        "cpp-ra",
+        "power",
+        "power-arm",
+        "arm",
+        "arm-llh",
+        "pldi2011",
+        "power-static-ppo",
+        "arm-static-ppo",
+    ):
+        assert name in ARCHITECTURES
+        assert get_architecture(name).name == name
+    with pytest.raises(KeyError):
+        get_architecture("itanium")
+
+
+def test_architecture_relations_report_all_keys():
+    execution = _sb_execution()
+    relations = power_architecture().relations(execution)
+    assert set(relations) == {"ppo", "fences", "prop", "hb", "ffence"}
+
+
+def test_check_collects_all_violations_when_not_stopping_early():
+    test = get_test("lb+addrs")
+    model = Model(sc_architecture())
+    # The lb outcome violates several axioms under SC; make sure they are all
+    # reported when stop_at_first is False.
+    for candidate in candidate_executions(test):
+        outcome = dict(candidate.outcome(test))
+        if all(value == 1 for value in outcome.values()):
+            result = model.check(candidate.execution, stop_at_first=False)
+            assert not result.allowed
+            assert len(result.violations) >= 1
+            break
+    else:
+        pytest.fail("target outcome candidate not found")
+
+
+def test_reference_characterisations_match_instances_on_registry_tests():
+    """Lemma 4.1, checked empirically on the named tests."""
+    sc_model = Model(sc_architecture())
+    tso_model = Model(tso_architecture())
+    for name in ("mp", "sb", "lb", "2+2w", "r", "s", "iriw", "sb+mfences", "coRR"):
+        test = get_test(name)
+        for candidate in candidate_executions(test):
+            execution = candidate.execution
+            assert sc_model.allows(execution) == is_sc_reference(execution), name
+            assert tso_model.allows(execution) == is_tso_reference(execution), name
+
+
+def test_cpp_ra_verdicts():
+    cpp = cpp_ra_architecture()
+    assert simulate(get_test("mp"), cpp).verdict == "Forbid"
+    assert simulate(get_test("lb"), cpp).verdict == "Forbid"
+    assert simulate(get_test("sb"), cpp).verdict == "Allow"
+    assert simulate(get_test("2+2w"), cpp).verdict == "Allow"
+
+
+def test_arm_llh_allows_corr_but_not_coww():
+    llh = arm_llh_architecture()
+    assert simulate(get_test("coRR"), llh).verdict == "Allow"
+    assert simulate(get_test("coWW"), llh).verdict == "Forbid"
+    assert simulate(get_test("coWR"), llh).verdict == "Forbid"
+
+
+def test_model_repr_and_names():
+    model = Model(arm_architecture())
+    assert model.name == "arm"
+    assert "arm" in repr(model)
+
+
+def test_check_result_describe():
+    result = Model(sc_architecture()).check(_coww_execution())
+    assert "forbidden" in result.describe()
+    allowed = Model(power_architecture()).check(_sb_execution())
+    assert allowed.describe() == "allowed"

@@ -1,0 +1,163 @@
+"""Tests for the mole static analyser and its corpus (Sec. 9)."""
+
+import pytest
+
+from repro.core.axioms import (
+    AXIOM_NO_THIN_AIR,
+    AXIOM_OBSERVATION,
+    AXIOM_PROPAGATION,
+    AXIOM_SC_PER_LOCATION,
+)
+from repro.mole import analyse_corpus, analyse_program, debian_corpus, find_cycles
+from repro.mole.analysis import collect_accesses
+from repro.mole.corpus import (
+    corpus_package_names,
+    double_checked_locking_program,
+    seqlock_program,
+    spinlock_program,
+    statistics_counter_program,
+    work_stealing_program,
+)
+from repro.verification.examples import (
+    apache_example,
+    dekker_example,
+    postgresql_example,
+    rcu_example,
+)
+from repro.verification.program import (
+    BinOp,
+    Const,
+    FenceStmt,
+    IfStmt,
+    LoadStmt,
+    Program,
+    StoreStmt,
+    Var,
+)
+
+
+def test_collect_accesses_order_and_fences():
+    program = postgresql_example(True)
+    threads = collect_accesses(program)
+    signaller = threads[0]
+    assert [(a.direction, a.location) for a in signaller.accesses] == [
+        ("W", "flag"),
+        ("W", "latch"),
+    ]
+    assert "lwsync" in signaller.fences_between(0, 1)
+    waiter = threads[1]
+    assert [(a.direction, a.location) for a in waiter.accesses] == [
+        ("R", "latch"),
+        ("R", "flag"),
+    ]
+
+
+def test_collect_accesses_includes_both_branches_and_loops():
+    program = rcu_example(True)
+    reader = collect_accesses(program)[1]
+    locations = [access.location for access in reader.accesses]
+    assert "foo2_a" in locations and "foo1_a" in locations
+
+
+def test_message_passing_idiom_is_found_and_classified_as_observation():
+    for program in (postgresql_example(True), apache_example(True), rcu_example(True)):
+        report = analyse_program(program)
+        assert "mp" in report.patterns(), program.name
+        assert report.axioms().get(AXIOM_OBSERVATION, 0) >= 1, program.name
+
+
+def test_store_buffering_idiom_is_found_and_classified_as_propagation():
+    report = analyse_program(dekker_example(False))
+    assert "sb" in report.patterns()
+    sb_cycles = [cycle for cycle in report.cycles if cycle.name == "sb"]
+    assert all(cycle.axiom == AXIOM_PROPAGATION for cycle in sb_cycles)
+
+
+def test_sc_per_location_cycles_are_reported():
+    report = analyse_program(statistics_counter_program())
+    assert report.num_cycles >= 1
+    assert all(cycle.axiom == AXIOM_SC_PER_LOCATION for cycle in report.cycles)
+
+
+def test_spinlock_contains_a_variety_of_patterns():
+    report = analyse_program(spinlock_program())
+    patterns = report.patterns()
+    assert "mp" in patterns or "s" in patterns
+    assert any(name.startswith("co") for name in patterns)
+
+
+def test_load_buffering_idiom_classified_as_no_thin_air():
+    program = Program(
+        name="lb-idiom",
+        shared={"x": 0, "y": 0},
+        threads=[
+            (LoadStmt("a", "x"), StoreStmt("y", Const(1))),
+            (LoadStmt("b", "y"), StoreStmt("x", Const(1))),
+        ],
+    )
+    report = analyse_program(program)
+    assert "lb" in report.patterns()
+    lb_cycles = [cycle for cycle in report.cycles if cycle.name == "lb"]
+    assert all(cycle.axiom == AXIOM_NO_THIN_AIR for cycle in lb_cycles)
+
+
+def test_fences_are_attached_to_program_order_edges():
+    report = analyse_program(postgresql_example(True))
+    mp_cycles = [cycle for cycle in report.cycles if cycle.name == "mp"]
+    assert mp_cycles
+    assert any(
+        any("lwsync" in fence_set for fence_set in cycle.fences) for cycle in mp_cycles
+    )
+
+
+def test_cycle_describe_mentions_pattern_and_axiom():
+    report = analyse_program(dekker_example(False))
+    text = report.cycles[0].describe()
+    assert "->" in text
+    assert report.describe().startswith("mole census for")
+
+
+def test_no_cycles_in_a_single_threaded_program():
+    program = Program(
+        name="sequential",
+        shared={"x": 0},
+        threads=[(StoreStmt("x", Const(1)), LoadStmt("v", "x"))],
+    )
+    assert analyse_program(program).num_cycles == 0
+
+
+def test_no_critical_cycle_without_competing_accesses():
+    program = Program(
+        name="disjoint",
+        shared={"x": 0, "y": 0},
+        threads=[
+            (StoreStmt("x", Const(1)), LoadStmt("a", "x")),
+            (StoreStmt("y", Const(1)), LoadStmt("b", "y")),
+        ],
+    )
+    assert analyse_program(program).num_cycles == 0
+
+
+def test_corpus_census_aggregates_per_package():
+    corpus = debian_corpus()
+    assert set(corpus_package_names()) == set(corpus)
+    reports = analyse_corpus(corpus)
+    assert set(reports) == set(corpus)
+    assert reports["postgresql"].num_cycles >= 1
+    assert reports["linux-rcu"].num_cycles >= 1
+    assert reports["apache2"].num_cycles >= 1
+    total = sum(report.num_cycles for report in reports.values())
+    assert total >= 20
+
+
+def test_per_thread_limit_of_critical_cycles():
+    """A critical cycle never uses more than two accesses of one thread."""
+    for package, programs in debian_corpus().items():
+        for program in programs:
+            for cycle in find_cycles(program):
+                if not cycle.is_critical:
+                    continue
+                per_thread = {}
+                for access in cycle.accesses:
+                    per_thread[access.thread] = per_thread.get(access.thread, 0) + 1
+                assert max(per_thread.values()) <= 2, (package, cycle.describe())

@@ -1,0 +1,77 @@
+"""Tests for the multi-event axiomatic model (Tab. IX's comparison point)."""
+
+import pytest
+
+from repro.core.architectures import arm_architecture, power_architecture
+from repro.core.model import Model
+from repro.herd import candidate_executions, simulate
+from repro.litmus.registry import get_test
+from repro.multi_event import MultiEventModel, MultiEventSimulator
+from repro.multi_event.model import lift_relation, propagation_copies
+
+
+def test_propagation_copies_one_per_thread_for_writes():
+    execution = next(iter(candidate_executions(get_test("mp")))).execution
+    copies = propagation_copies(execution)
+    threads = len(execution.threads)
+    for event, event_copies in copies.items():
+        if event.is_write():
+            assert len(event_copies) == threads
+        else:
+            assert len(event_copies) == 1
+
+
+def test_lift_relation_grows_with_thread_count_and_preserves_acyclicity():
+    execution = next(iter(candidate_executions(get_test("iriw")))).execution
+    copies = propagation_copies(execution)
+    lifted_co = lift_relation(execution.co, copies)
+    assert len(lifted_co) >= len(execution.co)
+    assert lifted_co.is_acyclic() == execution.co.is_acyclic()
+
+
+def test_lift_relation_preserves_cycles():
+    execution = None
+    model = Model(power_architecture())
+    for candidate in candidate_executions(get_test("coWW")):
+        result = model.check(candidate.execution)
+        if not result.allowed:
+            execution = candidate.execution
+            break
+    assert execution is not None
+    copies = propagation_copies(execution)
+    relation = execution.po_loc | execution.com
+    assert relation.is_acyclic() == lift_relation(relation, copies).is_acyclic()
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "mp", "mp+lwsync+addr", "sb", "sb+syncs", "lb", "lb+addrs", "coRR",
+        "2+2w+lwsyncs", "r+syncs", "r+lwsync+sync", "iriw+syncs", "iriw+lwsyncs",
+        "wrc+lwsync+addr", "w+rwc+eieio+addr+sync",
+    ],
+)
+def test_multi_event_verdicts_agree_with_single_event(name):
+    """The two axiomatic styles agree on the paper's tests (Sec. 8.2/8.3)."""
+    simulator = MultiEventSimulator(power_architecture())
+    test = get_test(name)
+    assert simulator.verdict(test) == simulate(test, "power").verdict, name
+
+
+def test_multi_event_execution_level_agreement():
+    model = MultiEventModel(power_architecture())
+    reference = Model(power_architecture())
+    for name in ("mp+lwsync+addr", "iriw+syncs", "coWR"):
+        for candidate in candidate_executions(get_test(name)):
+            assert model.allows(candidate.execution) == reference.allows(candidate.execution)
+
+
+def test_multi_event_arm_instance():
+    simulator = MultiEventSimulator(arm_architecture())
+    assert simulator.verdict(get_test("mp+dmb+addr")) == "Forbid"
+    assert simulator.verdict(get_test("mp+dmb+fri-rfi-ctrlisb")) == "Allow"
+
+
+def test_multi_event_model_name():
+    assert MultiEventModel().name == "multi-event(power)"
+    assert "MultiEventModel" in repr(MultiEventModel())

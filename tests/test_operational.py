@@ -1,0 +1,93 @@
+"""Tests for the intermediate machine, the PLDI comparator and Thm. 7.1."""
+
+import pytest
+
+from repro.core.architectures import arm_architecture, power_architecture, tso_architecture
+from repro.core.model import Model
+from repro.herd import candidate_executions, simulate
+from repro.litmus.registry import get_test
+from repro.operational import (
+    IntermediateMachine,
+    OperationalSimulator,
+    check_equivalence,
+    pldi_machine,
+    pldi_operational_simulator,
+)
+
+
+def test_machine_accepts_sc_like_executions_of_mp():
+    machine = IntermediateMachine(power_architecture())
+    model = Model(power_architecture())
+    for candidate in candidate_executions(get_test("mp")):
+        assert machine.accepts(candidate.execution) == model.allows(candidate.execution)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "mp", "mp+lwsync+addr", "sb", "sb+syncs", "sb+lwsyncs", "lb", "lb+addrs",
+        "coWW", "coWR", "coRW1", "coRW2", "coRR",
+        "2+2w", "2+2w+lwsyncs", "r", "r+syncs", "r+lwsync+sync", "s", "s+lwsync+data",
+        "wrc+lwsync+addr", "rwc+syncs", "iriw+syncs", "iriw+lwsyncs",
+        "w+rwc+eieio+addr+sync", "mp+lwsync+addr-po-detour", "lb+addrs+ww",
+    ],
+)
+def test_theorem_71_equivalence_per_test(name):
+    """Thm. 7.1: the machine and the axiomatic model accept the same executions."""
+    machine = IntermediateMachine(power_architecture())
+    model = Model(power_architecture())
+    for candidate in candidate_executions(get_test(name)):
+        assert machine.accepts(candidate.execution) == model.allows(candidate.execution), name
+
+
+def test_theorem_71_equivalence_on_arm_and_tso():
+    arm_tests = [get_test(n) for n in ("mp+dmb+addr", "mp+dmb+fri-rfi-ctrlisb", "sb+dmbs")]
+    report = check_equivalence(arm_tests, arm_architecture())
+    assert report.equivalent, report.describe()
+
+    tso_tests = [get_test(n) for n in ("sb", "sb+mfences", "mp", "iriw")]
+    report = check_equivalence(tso_tests, tso_architecture())
+    assert report.equivalent, report.describe()
+
+
+def test_equivalence_report_describe_and_counts():
+    report = check_equivalence([get_test("mp")], power_architecture())
+    assert report.equivalent
+    assert report.tests_checked == 1
+    assert report.executions_checked > 0
+    assert "equivalent" in report.describe()
+
+
+def test_operational_simulator_matches_herd_verdicts():
+    simulator = OperationalSimulator(power_architecture())
+    for name in ("mp", "mp+lwsync+addr", "sb+syncs", "lb+addrs", "2+2w+lwsyncs"):
+        test = get_test(name)
+        assert simulator.verdict(test) == simulate(test, "power").verdict, name
+
+
+def test_operational_simulator_allowed_outcomes_subset_of_candidates():
+    simulator = OperationalSimulator(power_architecture())
+    test = get_test("sb")
+    outcomes = simulator.allowed_outcomes(test)
+    all_outcomes = {candidate.outcome(test) for candidate in candidate_executions(test)}
+    assert outcomes <= all_outcomes
+    assert outcomes  # sb has allowed outcomes
+
+
+def test_pldi_machine_reproduces_the_documented_flaw():
+    """Tab. I / Sec. 8.2: the PLDI 2011 model forbids behaviours observed on hardware."""
+    pldi = pldi_operational_simulator()
+    detour = get_test("mp+lwsync+addr-po-detour")
+    assert pldi.verdict(detour) == "Forbid"
+    assert simulate(detour, "power").verdict == "Allow"
+
+    # On the common tests the two models agree.
+    for name in ("mp", "mp+lwsync+addr", "sb+syncs", "lb+addrs"):
+        test = get_test(name)
+        assert pldi.verdict(test) == simulate(test, "power").verdict, name
+
+
+def test_pldi_machine_name_and_architecture():
+    machine = pldi_machine()
+    assert machine.architecture.name == "pldi2011"
+    assert "pldi2011" in machine.name

@@ -1,0 +1,119 @@
+"""Tests for the litmus text-format parser."""
+
+import pytest
+
+from repro.herd import simulate
+from repro.litmus.instructions import Fence, Load, MoveImmediate, Store, Xor
+from repro.litmus.parser import LitmusParseError, parse_litmus
+
+MP_POWER = """
+Power mp+lwsync+addr
+"message passing with lwsync and an address dependency"
+{
+0:r2=x; 0:r4=y;
+1:r2=y; 1:r4=x;
+x=0; y=0;
+}
+ P0           | P1            ;
+ li r1,1      | lwz r1,0(r2)  ;
+ stw r1,0(r2) | xor r3,r1,r1  ;
+ lwsync       | lwzx r5,r3,r4 ;
+ li r3,1      |               ;
+ stw r3,0(r4) |               ;
+exists (1:r1=1 /\\ 1:r5=0)
+"""
+
+MP_ARM = """
+ARM mp+dmb+addr
+{
+0:r2=x; 0:r4=y;
+1:r2=y; 1:r4=x;
+}
+ P0           | P1            ;
+ mov r1,#1    | ldr r1,[r2]   ;
+ str r1,[r2]  | eor r3,r1,r1  ;
+ dmb          | ldr r5,[r4,r3];
+ mov r3,#1    |               ;
+ str r3,[r4]  |               ;
+exists (1:r1=1 /\\ 1:r5=0)
+"""
+
+SB_X86 = """
+X86 sb
+{ x=0; y=0; }
+ P0          | P1          ;
+ mov r1,$1   | mov r1,$1   ;
+ mov [x],r1  | mov [y],r1  ;
+ mov r2,[y]  | mov r2,[x]  ;
+exists (0:r2=0 /\\ 1:r2=0)
+"""
+
+
+def test_parse_power_header_and_init():
+    test = parse_litmus(MP_POWER)
+    assert test.name == "mp+lwsync+addr"
+    assert test.arch == "power"
+    assert test.doc.startswith("message passing")
+    assert test.init_registers[(0, "r2")] == "x"
+    assert test.init_registers[(1, "r4")] == "x"
+    assert test.init_memory == {"x": 0, "y": 0}
+
+
+def test_parse_power_instructions():
+    test = parse_litmus(MP_POWER)
+    t0, t1 = test.threads
+    assert isinstance(t0[0], MoveImmediate) and t0[0].value == 1
+    assert isinstance(t0[1], Store)
+    assert isinstance(t0[2], Fence) and t0[2].name == "lwsync"
+    assert isinstance(t1[0], Load) and t1[0].index_reg is None
+    assert isinstance(t1[1], Xor)
+    assert isinstance(t1[2], Load) and t1[2].index_reg == "r3"
+
+
+def test_parse_condition_atoms():
+    test = parse_litmus(MP_POWER)
+    assert test.condition is not None
+    assert test.condition.kind == "exists"
+    assert {str(atom) for atom in test.condition.atoms} == {"1:r1=1", "1:r5=0"}
+
+
+def test_parsed_power_test_gives_paper_verdicts():
+    test = parse_litmus(MP_POWER)
+    assert simulate(test, "power").verdict == "Forbid"
+    assert simulate(test, "tso").verdict == "Forbid"
+
+
+def test_parse_arm_dialect_and_verdict():
+    test = parse_litmus(MP_ARM)
+    assert test.arch == "arm"
+    assert simulate(test, "arm").verdict == "Forbid"
+    assert simulate(test, "power-arm").verdict == "Forbid"
+
+
+def test_parse_x86_dialect_and_tso_verdict():
+    test = parse_litmus(SB_X86)
+    assert test.arch == "x86"
+    assert simulate(test, "tso").verdict == "Allow"
+    assert simulate(test, "sc").verdict == "Forbid"
+
+
+def test_parse_errors_on_unknown_arch():
+    with pytest.raises(LitmusParseError):
+        parse_litmus("MIPS t\n{ }\n P0 ;\n nop ;\nexists (x=0)")
+
+
+def test_parse_errors_on_unknown_instruction():
+    bad = MP_POWER.replace("lwsync", "frobnicate")
+    with pytest.raises(LitmusParseError):
+        parse_litmus(bad)
+
+
+def test_parse_errors_on_missing_init_section():
+    with pytest.raises(LitmusParseError):
+        parse_litmus("Power t\n P0 ;\n sync ;\nexists (x=0)")
+
+
+def test_roundtrip_pretty_contains_program():
+    test = parse_litmus(MP_POWER)
+    text = test.pretty()
+    assert "lwsync" in text and "exists" in text

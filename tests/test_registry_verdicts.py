@@ -1,0 +1,57 @@
+"""The central reproduction test: every named test of the paper gets the
+verdict the paper states, under every model the paper discusses it for.
+
+This covers the litmus diagrams of Figs. 6-20, 29, 32-36 and 39 and the
+model-comparison claims of Tab. I and Sec. 8.2.
+"""
+
+import pytest
+
+from repro.herd import Simulator
+from repro.litmus.registry import entries
+
+_SIMULATORS = {}
+
+
+def _simulator(model_name):
+    if model_name not in _SIMULATORS:
+        _SIMULATORS[model_name] = Simulator(model_name)
+    return _SIMULATORS[model_name]
+
+
+CASES = [
+    (entry.name, model, expected)
+    for entry in entries()
+    for model, expected in sorted(entry.expectations.items())
+]
+
+
+@pytest.mark.parametrize("name,model,expected", CASES, ids=[f"{n}-{m}" for n, m, _ in CASES])
+def test_paper_verdict(name, model, expected):
+    from repro.litmus.registry import get_test
+
+    result = _simulator(model).run(get_test(name))
+    assert result.verdict == expected, (
+        f"{name} under {model}: paper says {expected}, simulator says {result.verdict}"
+    )
+
+
+def test_registry_is_complete_enough():
+    """The registry covers the figures the evaluation relies on."""
+    names = {entry.name for entry in entries()}
+    for required in (
+        "mp", "sb", "lb", "wrc", "isa2", "2+2w", "w+rw+2w", "rwc", "r", "s",
+        "iriw", "coWW", "coRW1", "coRW2", "coWR", "coRR",
+        "mp+lwsync+addr", "sb+syncs", "lb+addrs", "iriw+syncs",
+        "mp+dmb+fri-rfi-ctrlisb", "mp+lwsync+addr-po-detour",
+        "w+rwc+eieio+addr+sync", "r+lwsync+sync",
+    ):
+        assert required in names, f"missing {required}"
+
+
+def test_every_entry_builds_and_names_are_consistent():
+    for entry in entries():
+        test = entry.build()
+        assert test.name == entry.name
+        assert test.num_threads() >= 1
+        assert test.condition is not None

@@ -1,0 +1,103 @@
+"""Integration tests for the herd simulator and cross-model properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diy.cycles import Cycle, coe, dep, fenced, fre, po, rfe
+from repro.diy.generator import generate_test
+from repro.herd import Simulator, simulate
+from repro.litmus.registry import get_test
+
+
+def test_simulation_result_fields_for_sb():
+    result = simulate(get_test("sb"), "tso")
+    assert result.model_name == "tso"
+    assert result.num_candidates == 4
+    assert result.num_allowed == 4
+    assert result.target_reachable and result.verdict == "Allow"
+    assert result.condition_holds  # the exists clause is satisfied
+    assert len(result.allowed_outcomes) == 4
+    assert result.allowed_outcomes <= result.all_outcomes
+    assert "sb" in result.describe()
+
+
+def test_simulation_result_forbidden_outcome_excluded():
+    result = simulate(get_test("mp"), "sc")
+    # Under SC the (1, 0) outcome of mp is excluded but others remain.
+    assert result.verdict == "Forbid"
+    assert len(result.allowed_outcomes) == 3
+    assert len(result.all_outcomes) == 4
+
+
+def test_keep_candidates_returns_both_sides():
+    simulator = Simulator("sc")
+    result = simulator.run(get_test("sb"), keep_candidates=True, stop_at_first_violation=False)
+    assert len(result.allowed_candidates) == result.num_allowed
+    assert len(result.forbidden_candidates) == result.num_candidates - result.num_allowed
+    for _, check in result.forbidden_candidates:
+        assert check.violations
+
+
+def test_simulator_accepts_model_like_objects():
+    from repro.core.architectures import power_architecture
+    from repro.core.model import Model
+
+    test = get_test("mp+lwsync+addr")
+    assert simulate(test, power_architecture()).verdict == "Forbid"
+    assert simulate(test, Model(power_architecture())).verdict == "Forbid"
+    with pytest.raises(TypeError):
+        simulate(test, 42)
+
+
+MODEL_STRENGTH_ORDER = ("sc", "tso", "power")
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["mp", "sb", "lb", "r", "s", "2+2w", "wrc", "rwc", "iriw", "coRR", "coWW"],
+)
+def test_allowed_outcomes_grow_as_models_weaken(name):
+    """SC ⊆ TSO ⊆ Power in terms of allowed outcomes (model strength)."""
+    test = get_test(name)
+    outcomes = [simulate(test, model).allowed_outcomes for model in MODEL_STRENGTH_ORDER]
+    assert outcomes[0] <= outcomes[1] <= outcomes[2]
+
+
+_PER_THREAD = st.sampled_from(
+    [
+        lambda a, b: po(a, b),
+        lambda a, b: fenced("lwsync", a, b),
+        lambda a, b: fenced("sync", a, b),
+        lambda a, b: dep("addr", b) if a == "R" else po(a, b),
+        lambda a, b: dep("ctrl", b) if a == "R" else po(a, b),
+    ]
+)
+_COMM = st.sampled_from([rfe, fre, coe])
+
+
+@given(
+    comm1=_COMM, comm2=_COMM, mech1=_PER_THREAD, mech2=_PER_THREAD
+)
+@settings(max_examples=25, deadline=None)
+def test_property_generated_two_thread_tests_are_well_behaved(comm1, comm2, mech1, mech2):
+    """Any two-thread critical cycle yields a well-formed test whose allowed
+    outcomes respect the SC ⊆ TSO ⊆ Power inclusion."""
+    first_dirs = (comm2().dst_dir, comm1().src_dir)
+    second_dirs = (comm1().dst_dir, comm2().src_dir)
+    edges = [
+        mech1(*first_dirs),
+        comm1(),
+        mech2(*second_dirs),
+        comm2(),
+    ]
+    test = generate_test(Cycle.of(edges))
+    outcomes = [simulate(test, model).allowed_outcomes for model in MODEL_STRENGTH_ORDER]
+    assert outcomes[0] <= outcomes[1] <= outcomes[2]
+    # The SC simulator allows at least one outcome of every test.
+    assert outcomes[0]
+
+
+def test_every_registry_test_has_at_least_one_sc_outcome():
+    for name in ("mp", "sb", "lb", "iriw", "wrc", "isa2", "w+rw+2w"):
+        result = simulate(get_test(name), "sc")
+        assert result.allowed_outcomes, name
