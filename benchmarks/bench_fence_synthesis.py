@@ -1,0 +1,68 @@
+"""Fence synthesis throughput over diy-generated families.
+
+Not a paper table: this benchmark tracks the repair pipeline added on
+top of the simulator (AEG construction, critical cycles, greedy
+placement, validated escalation).  It records repair throughput in
+tests/second and asserts the qualitative shape:
+
+* every repairable test of the family is actually repaired;
+* the memo cache makes a second pass over the same family cheaper
+  (fewer validation runs) and never changes the outcome;
+* repaired costs differentiate (the family never ends up all-sync).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.diy.families import extended_family, two_thread_family
+from repro.fences.campaign import repair_family
+
+
+def _run_campaign():
+    tests = two_thread_family("power", limit=48) + extended_family("power", limit=12)
+
+    cache: dict = {}
+    start = time.perf_counter()
+    cold = repair_family(tests, "power", cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = repair_family(tests, "power", cache=cache)
+    warm_seconds = time.perf_counter() - start
+
+    mechanisms = [m for report in cold.reports for m in report.mechanisms]
+    return {
+        "tests": len(tests),
+        "needed_repair": cold.num_needing_repair,
+        "repaired": cold.num_repaired,
+        "failed": cold.num_failed,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_tests_per_second": len(tests) / cold_seconds,
+        "warm_tests_per_second": len(tests) / warm_seconds,
+        "cold_validations": cold.total_validations,
+        "warm_validations": warm.total_validations,
+        "warm_cache_hits": warm.cache_hits,
+        "mechanism_kinds": sorted(set(mechanisms)),
+    }
+
+
+def test_fence_synthesis_throughput(benchmark):
+    stats = run_once(benchmark, _run_campaign)
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in stats.items()}
+    )
+
+    # Everything that needed fences got them.
+    assert stats["failed"] == 0
+    assert stats["repaired"] == stats["needed_repair"]
+    # The memoized pass never validates more than the cold pass.
+    assert stats["warm_validations"] <= stats["cold_validations"]
+    assert stats["warm_cache_hits"] > 0
+    # Cost differentiation: the family uses more than one mechanism.
+    assert len(stats["mechanism_kinds"]) >= 2
+    # Throughput floor: this is a static analysis plus a handful of tiny
+    # simulations per test; tens of tests per second is comfortable.
+    assert stats["cold_tests_per_second"] > 10

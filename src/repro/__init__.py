@@ -19,7 +19,10 @@ The package is organised around the paper's artefacts:
   errata, and the litmus testing campaign harness;
 * :mod:`repro.verification` — a bounded model-checking substrate for
   concurrent C-like programs under weak memory models;
-* :mod:`repro.mole` — the static critical-cycle analyser and its corpus.
+* :mod:`repro.mole` — the static critical-cycle analyser and its corpus;
+* :mod:`repro.fences` — automatic fence synthesis and repair: critical
+  cycles of an abstract event graph, greedy min-cut placement with
+  per-architecture cost tables, validated against the herd simulator.
 
 Quick start::
 

@@ -42,13 +42,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 Pair = Tuple["Event", "Event"]
 
 
-class Relation:
-    """An immutable binary relation over events."""
+#: Sentinel distinguishing "not cached" from a cached ``None`` (find_cycle).
+_UNSET = object()
 
-    __slots__ = ("_pairs",)
+
+class Relation:
+    """An immutable binary relation over events.
+
+    Derived quantities that are expensive to recompute — the transitive
+    closure, acyclicity, a witness cycle — are memoized per instance.
+    The pair set is frozen at construction, so the caches can never go
+    stale; repeated model checks over the same execution (the herd
+    simulator checks every axiom of every model against the same po/com
+    relations) reuse the work instead of re-walking the graph.
+    """
+
+    __slots__ = ("_pairs", "_cache")
 
     def __init__(self, pairs: Iterable[Pair] = ()):
         self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        self._cache: dict = {}
 
     # -- constructors ------------------------------------------------------------
 
@@ -147,14 +160,24 @@ class Relation:
         return Relation((dst, src) for src, dst in self._pairs)
 
     def transitive_closure(self) -> "Relation":
-        return Relation(digraph.transitive_closure(self._pairs))
+        cached = self._cache.get("tc")
+        if cached is None:
+            cached = Relation(digraph.transitive_closure(self._pairs))
+            self._cache["tc"] = cached
+        return cached
 
     def plus(self) -> "Relation":
         """Alias for :meth:`transitive_closure` (the paper's ``r+``)."""
         return self.transitive_closure()
 
     def reflexive_transitive_closure(self, events: Iterable["Event"] = ()) -> "Relation":
-        return Relation(digraph.reflexive_transitive_closure(self._pairs, events))
+        events = frozenset(events)  # materialize once: also the cache key
+        key = ("rtc", events)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = Relation(digraph.reflexive_transitive_closure(self._pairs, events))
+            self._cache[key] = cached
+        return cached
 
     def star(self, events: Iterable["Event"] = ()) -> "Relation":
         """Alias for :meth:`reflexive_transitive_closure` (the paper's ``r*``)."""
@@ -203,10 +226,14 @@ class Relation:
         return all(src != dst for src, dst in self._pairs)
 
     def is_acyclic(self) -> bool:
-        return digraph.is_acyclic(self._pairs)
+        return self.find_cycle() is None
 
     def find_cycle(self) -> Optional[List["Event"]]:
-        return digraph.find_cycle(self._pairs)
+        cached = self._cache.get("cycle", _UNSET)
+        if cached is _UNSET:
+            cached = digraph.find_cycle(self._pairs)
+            self._cache["cycle"] = cached
+        return list(cached) if cached is not None else None
 
     def is_transitive(self) -> bool:
         return self.transitive_closure() == self

@@ -1,0 +1,62 @@
+"""Automatic fence synthesis and repair (after "Don't sit on the fence").
+
+Given a litmus test (or a concurrent IR program) whose annotated non-SC
+outcome is observable under a target model, this package finds the
+cheapest set of fences and dependencies that makes the outcome
+unobservable, and proves it by re-running the herd simulator:
+
+* :mod:`repro.fences.aeg` — abstract event graphs from litmus tests and
+  :mod:`repro.verification.program` programs;
+* :mod:`repro.fences.cycles` — critical cycles (Shasha & Snir);
+* :mod:`repro.fences.placement` — delay classification, per-architecture
+  fence cost tables and the greedy min-cut placement;
+* :mod:`repro.fences.repair` — splicing fences / false dependencies back
+  into the instruction stream;
+* :mod:`repro.fences.validate` — the validated escalation loop
+  (:func:`repair_test`);
+* :mod:`repro.fences.campaign` — batch repair of whole families with
+  memoized per-cycle verdicts and optional multiprocessing.
+
+Quick start::
+
+    from repro.fences import repair_test
+    from repro.litmus.registry import get_test
+
+    report = repair_test(get_test("mp"), "power")
+    print(report.describe())   # repaired with lwsync,addr ...
+    print(report.repaired.pretty())
+"""
+
+from repro.fences.aeg import (
+    AbstractEvent,
+    AbstractEventGraph,
+    PoEdge,
+    aeg_from_litmus,
+    aeg_from_program,
+)
+from repro.fences.campaign import CampaignResult, repair_family, repair_one
+from repro.fences.cycles import CriticalCycle, critical_cycles
+from repro.fences.placement import Mechanism, Placement, plan_placements
+from repro.fences.repair import RepairError, apply_placements
+from repro.fences.validate import RepairReport, repair_test, validate_repair
+
+__all__ = [
+    "AbstractEvent",
+    "AbstractEventGraph",
+    "PoEdge",
+    "aeg_from_litmus",
+    "aeg_from_program",
+    "CriticalCycle",
+    "critical_cycles",
+    "Mechanism",
+    "Placement",
+    "plan_placements",
+    "RepairError",
+    "apply_placements",
+    "RepairReport",
+    "repair_test",
+    "validate_repair",
+    "CampaignResult",
+    "repair_family",
+    "repair_one",
+]

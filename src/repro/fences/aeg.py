@@ -1,0 +1,421 @@
+"""Abstract event graphs (AEGs) for fence synthesis.
+
+Following Alglave, Kroening, Nimal & Poetzl ("Don't sit on the fence"),
+fence synthesis does not reason on concrete executions: it works on a
+*static* abstraction of the program.  The abstract event graph has one
+node per memory access in the program text and two families of edges:
+
+* **program-order edges** between accesses of one thread, annotated with
+  every ordering mechanism already present between them (fences,
+  address/data/control dependencies);
+* **competing edges** between accesses of different threads to the same
+  location, at least one of which is a write — the static shadow of the
+  rf/fr/co communications a concrete execution could exhibit.
+
+AEGs are built from :class:`repro.litmus.ast.LitmusTest` instruction
+streams (via a per-thread register taint analysis that recovers the
+dependency idioms emitted by the diy generator) and from
+:class:`repro.verification.program.Program` concurrent programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.litmus.ast import LitmusTest
+from repro.litmus.instructions import (
+    Add,
+    Branch,
+    Compare,
+    CompareImmediate,
+    Fence,
+    Label,
+    Load,
+    MoveImmediate,
+    Store,
+    Xor,
+)
+from repro.verification import program as ir
+
+READ = "R"
+WRITE = "W"
+
+
+@dataclass(frozen=True)
+class AbstractEvent:
+    """One static memory access.
+
+    ``index`` numbers the accesses of a thread in program order;
+    ``instr_index`` points back into the thread's instruction list (or
+    statement list for IR programs) so that the repair stage knows where
+    to splice fences.
+    """
+
+    thread: int
+    index: int
+    direction: str
+    location: str
+    instr_index: int
+    register: Optional[str] = None
+    #: the access already computes its address through an index register
+    #: (an existing address dependency); no further one can be attached.
+    uses_index_register: bool = False
+
+    def __repr__(self) -> str:
+        return f"{self.direction}{self.thread}.{self.index}[{self.location}]"
+
+
+@dataclass(frozen=True)
+class PoEdge:
+    """A program-order pair of one thread, with its existing protections."""
+
+    src: AbstractEvent
+    dst: AbstractEvent
+    fences: Tuple[str, ...] = ()
+    addr_dep: bool = False
+    data_dep: bool = False
+    ctrl_dep: bool = False
+    ctrl_cfence: bool = False
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.src.thread, self.src.index, self.dst.index)
+
+    @property
+    def directions(self) -> Tuple[str, str]:
+        return (self.src.direction, self.dst.direction)
+
+    def protection_signature(self) -> Tuple:
+        """A hashable summary of the mechanisms already on the pair."""
+        return (
+            tuple(sorted(set(self.fences))),
+            self.addr_dep,
+            self.data_dep,
+            self.ctrl_dep,
+            self.ctrl_cfence,
+        )
+
+
+@dataclass
+class AbstractEventGraph:
+    """The static event graph of one program."""
+
+    name: str
+    arch: str
+    threads: List[List[AbstractEvent]]
+    po_edges: List[PoEdge]
+    cmp_edges: List[Tuple[AbstractEvent, AbstractEvent]]
+    _po_index: Dict[Tuple[int, int, int], PoEdge] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._po_index = {edge.key: edge for edge in self.po_edges}
+
+    def po_edge(self, src: AbstractEvent, dst: AbstractEvent) -> Optional[PoEdge]:
+        return self._po_index.get((src.thread, src.index, dst.index))
+
+    def events(self) -> List[AbstractEvent]:
+        return [event for thread in self.threads for event in thread]
+
+    def num_accesses(self) -> int:
+        return sum(len(thread) for thread in self.threads)
+
+    def graph_edges(self) -> List[Tuple[AbstractEvent, AbstractEvent]]:
+        """All directed edges, for the cycle search."""
+        edges = [(edge.src, edge.dst) for edge in self.po_edges]
+        edges.extend(self.cmp_edges)
+        return edges
+
+
+def _po_edges_of_scan(scan) -> List[PoEdge]:
+    """All program-order pairs of one scanned thread, with protections."""
+    edges: List[PoEdge] = []
+    for i in range(len(scan.events)):
+        for j in range(i + 1, len(scan.events)):
+            fences: List[str] = []
+            for gap in range(i + 1, j + 1):
+                if gap < len(scan.gaps):
+                    fences.extend(scan.gaps[gap])
+            edges.append(
+                PoEdge(
+                    src=scan.events[i],
+                    dst=scan.events[j],
+                    fences=tuple(fences),
+                    addr_dep=i in scan.addr_srcs[j],
+                    data_dep=i in scan.data_srcs[j],
+                    ctrl_dep=i in scan.ctrl_srcs[j],
+                    ctrl_cfence=i in scan.cfence_srcs[j],
+                )
+            )
+    return edges
+
+
+class _ThreadScan:
+    """Register taint analysis over one thread's instruction stream."""
+
+    def __init__(self, thread_index: int, address_of: Dict[str, str]):
+        self.thread_index = thread_index
+        self.address_of = dict(address_of)
+        self.events: List[AbstractEvent] = []
+        #: per access: frozensets of source *access indices* (reads)
+        self.addr_srcs: List[FrozenSet[int]] = []
+        self.data_srcs: List[FrozenSet[int]] = []
+        self.ctrl_srcs: List[FrozenSet[int]] = []
+        self.cfence_srcs: List[FrozenSet[int]] = []
+        #: gap i holds the fences between access i and access i+1
+        self.gaps: List[List[str]] = [[]]
+        self._taint: Dict[str, Set[int]] = {}
+        self._pending_compare: Set[int] = set()
+        self._ctrl: Set[int] = set()
+        self._ctrl_cfenced: Set[int] = set()
+
+    def _reg_taint(self, *registers: Optional[str]) -> Set[int]:
+        taint: Set[int] = set()
+        for register in registers:
+            if register is not None:
+                taint |= self._taint.get(register, set())
+        return taint
+
+    def _location(self, addr_reg: str) -> str:
+        return self.address_of.get(addr_reg, addr_reg)
+
+    def _push_access(
+        self,
+        direction: str,
+        location: str,
+        instr_index: int,
+        register: Optional[str],
+        addr: Set[int],
+        data: Set[int],
+        uses_index_register: bool = False,
+    ) -> AbstractEvent:
+        event = AbstractEvent(
+            thread=self.thread_index,
+            index=len(self.events),
+            direction=direction,
+            location=location,
+            instr_index=instr_index,
+            register=register,
+            uses_index_register=uses_index_register,
+        )
+        self.events.append(event)
+        self.addr_srcs.append(frozenset(addr))
+        self.data_srcs.append(frozenset(data))
+        self.ctrl_srcs.append(frozenset(self._ctrl))
+        self.cfence_srcs.append(frozenset(self._ctrl_cfenced))
+        self.gaps.append([])
+        return event
+
+    def scan(self, instructions: Sequence) -> None:
+        for position, instruction in enumerate(instructions):
+            if isinstance(instruction, Load):
+                addr = self._reg_taint(instruction.addr_reg, instruction.index_reg)
+                event = self._push_access(
+                    READ,
+                    self._location(instruction.addr_reg),
+                    position,
+                    instruction.dst,
+                    addr,
+                    set(),
+                    uses_index_register=instruction.index_reg is not None,
+                )
+                self._taint[instruction.dst] = {event.index}
+            elif isinstance(instruction, Store):
+                addr = self._reg_taint(instruction.addr_reg, instruction.index_reg)
+                data = self._reg_taint(instruction.src)
+                self._push_access(
+                    WRITE,
+                    self._location(instruction.addr_reg),
+                    position,
+                    None,
+                    addr,
+                    data,
+                    uses_index_register=instruction.index_reg is not None,
+                )
+            elif isinstance(instruction, Fence):
+                self.gaps[-1].append(instruction.name)
+                if instruction.is_control_fence() and self._ctrl:
+                    self._ctrl_cfenced |= self._ctrl
+            elif isinstance(instruction, MoveImmediate):
+                self._taint[instruction.dst] = set()
+                if isinstance(instruction.value, str):
+                    self.address_of[instruction.dst] = instruction.value
+            elif isinstance(instruction, (Xor, Add)):
+                self._taint[instruction.dst] = self._reg_taint(
+                    instruction.left, instruction.right
+                )
+            elif isinstance(instruction, Compare):
+                self._pending_compare = self._reg_taint(
+                    instruction.left, instruction.right
+                )
+            elif isinstance(instruction, CompareImmediate):
+                self._pending_compare = self._reg_taint(instruction.reg)
+            elif isinstance(instruction, Branch):
+                self._ctrl |= self._pending_compare
+            elif isinstance(instruction, Label):
+                pass
+
+    def po_edges(self) -> List[PoEdge]:
+        return _po_edges_of_scan(self)
+
+
+def _competing_edges(
+    threads: Sequence[Sequence[AbstractEvent]],
+) -> List[Tuple[AbstractEvent, AbstractEvent]]:
+    """Directed competing edges: the static shadow of rf, fr and co.
+
+    For a write/read pair both directions exist (rf one way, fr the
+    other); for two writes both coherence orders are possible.  Two reads
+    never compete.
+    """
+    events = [event for thread in threads for event in thread]
+    edges: List[Tuple[AbstractEvent, AbstractEvent]] = []
+    for a in events:
+        for b in events:
+            if a.thread >= b.thread:
+                continue
+            if a.location != b.location:
+                continue
+            if a.direction == READ and b.direction == READ:
+                continue
+            edges.append((a, b))
+            edges.append((b, a))
+    return edges
+
+
+def aeg_from_litmus(test: LitmusTest) -> AbstractEventGraph:
+    """Build the abstract event graph of a litmus test."""
+    threads: List[List[AbstractEvent]] = []
+    po_edges: List[PoEdge] = []
+    for thread_index, instructions in enumerate(test.threads):
+        address_of = {
+            register: value
+            for (owner, register), value in test.init_registers.items()
+            if owner == thread_index and isinstance(value, str)
+        }
+        scan = _ThreadScan(thread_index, address_of)
+        scan.scan(instructions)
+        threads.append(scan.events)
+        po_edges.extend(scan.po_edges())
+    return AbstractEventGraph(
+        name=test.name,
+        arch=test.arch,
+        threads=threads,
+        po_edges=po_edges,
+        cmp_edges=_competing_edges(threads),
+    )
+
+
+# -- verification IR programs ------------------------------------------------------
+
+
+class _StatementScan:
+    """Taint analysis over the verification IR (loads, stores, fences).
+
+    Branch bodies are walked in place (both arms of an ``if``, one
+    unrolling of a loop): the AEG over-approximates the set of accesses,
+    which is the sound direction for fence synthesis.
+    """
+
+    def __init__(self, thread_index: int):
+        self.thread_index = thread_index
+        self.events: List[AbstractEvent] = []
+        self.addr_srcs: List[FrozenSet[int]] = []
+        self.data_srcs: List[FrozenSet[int]] = []
+        self.ctrl_srcs: List[FrozenSet[int]] = []
+        self.cfence_srcs: List[FrozenSet[int]] = []
+        self.gaps: List[List[str]] = [[]]
+        self._taint: Dict[str, Set[int]] = {}
+        self._ctrl: Set[int] = set()
+        self._ctrl_cfenced: Set[int] = set()
+        self._position = 0
+
+    def _expr_taint(self, expr: ir.Expr) -> Set[int]:
+        taint: Set[int] = set()
+        for name in ir.expression_variables(expr):
+            taint |= self._taint.get(name, set())
+        return taint
+
+    def _push_access(
+        self, direction: str, location: str, addr: Set[int], data: Set[int],
+        register: Optional[str] = None, uses_index_register: bool = False,
+    ) -> AbstractEvent:
+        event = AbstractEvent(
+            thread=self.thread_index,
+            index=len(self.events),
+            direction=direction,
+            location=location,
+            instr_index=self._position,
+            register=register,
+            uses_index_register=uses_index_register,
+        )
+        self.events.append(event)
+        self.addr_srcs.append(frozenset(addr))
+        self.data_srcs.append(frozenset(data))
+        self.ctrl_srcs.append(frozenset(self._ctrl))
+        self.cfence_srcs.append(frozenset(self._ctrl_cfenced))
+        self.gaps.append([])
+        return event
+
+    def scan(self, statements: Sequence[ir.Statement]) -> None:
+        for statement in statements:
+            self._scan_one(statement)
+            self._position += 1
+
+    def _scan_one(self, statement: ir.Statement) -> None:
+        if isinstance(statement, ir.LoadStmt):
+            addr: Set[int] = set()
+            if statement.addr_dep_on is not None:
+                addr = self._taint.get(statement.addr_dep_on, set())
+            event = self._push_access(READ, statement.shared, addr, set(),
+                                      register=statement.target,
+                                      uses_index_register=statement.addr_dep_on is not None)
+            self._taint[statement.target] = {event.index}
+        elif isinstance(statement, ir.StoreStmt):
+            self._push_access(
+                WRITE, statement.shared, set(), self._expr_taint(statement.expr)
+            )
+        elif isinstance(statement, ir.FenceStmt):
+            self.gaps[-1].append(statement.name)
+            if statement.name in ("isync", "isb") and self._ctrl:
+                self._ctrl_cfenced |= self._ctrl
+        elif isinstance(statement, ir.Assign):
+            self._taint[statement.target] = self._expr_taint(statement.expr)
+        elif isinstance(statement, ir.IfStmt):
+            saved_ctrl = set(self._ctrl)
+            self._ctrl |= self._expr_taint(statement.condition)
+            for branch in (statement.then_branch, statement.else_branch):
+                for inner in branch:
+                    self._scan_one(inner)
+            self._ctrl = saved_ctrl
+        elif isinstance(statement, ir.WhileStmt):
+            saved_ctrl = set(self._ctrl)
+            self._ctrl |= self._expr_taint(statement.condition)
+            for inner in statement.body:
+                self._scan_one(inner)
+            self._ctrl = saved_ctrl
+        elif isinstance(statement, ir.AssertStmt):
+            pass
+
+    def po_edges(self) -> List[PoEdge]:
+        return _po_edges_of_scan(self)
+
+
+def aeg_from_program(program: ir.Program, arch: str = "power") -> AbstractEventGraph:
+    """Build the abstract event graph of a concurrent IR program."""
+    threads: List[List[AbstractEvent]] = []
+    po_edges: List[PoEdge] = []
+    for thread_index, statements in enumerate(program.threads):
+        scan = _StatementScan(thread_index)
+        scan.scan(statements)
+        threads.append(scan.events)
+        po_edges.extend(scan.po_edges())
+    return AbstractEventGraph(
+        name=program.name,
+        arch=arch,
+        threads=threads,
+        po_edges=po_edges,
+        cmp_edges=_competing_edges(threads),
+    )

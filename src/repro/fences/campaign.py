@@ -1,0 +1,173 @@
+"""Batch fence repair over whole litmus families.
+
+The diy families (Tab. V) contain hundreds of tests per architecture but
+only a handful of distinct cycle *shapes*: once ``sb``-shaped tests have
+taught the search that write-read pairs need a full fence, every other
+test with the same critical-cycle signature can skip straight to the
+answer.  The campaign driver therefore memoizes, per (model, cycle
+signature), the mechanisms the escalation loop settled on, and seeds
+subsequent repairs with them — each seeded repair still runs one
+confirming validation, so a stale cache entry costs a little time, never
+correctness.
+
+Repairs of distinct tests are independent, so the driver can fan out
+over a :mod:`multiprocessing` pool; worker processes return their local
+cache entries, which the parent merges for the next batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fences.aeg import aeg_from_litmus
+from repro.fences.cycles import critical_cycles
+from repro.fences.validate import RepairReport, repair_test
+from repro.herd.simulator import ModelLike
+from repro.litmus.ast import LitmusTest
+
+#: model name -> cycle-signature-set -> mechanism seed
+CycleCache = Dict[Tuple[str, Tuple], Tuple[Tuple[Tuple, str], ...]]
+
+
+@dataclass
+class CampaignResult:
+    """Summary of repairing one family of tests."""
+
+    model_name: str
+    reports: List[RepairReport]
+    cache_hits: int = 0
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.reports)
+
+    @property
+    def num_needing_repair(self) -> int:
+        return sum(1 for report in self.reports if report.needed_repair)
+
+    @property
+    def num_repaired(self) -> int:
+        return sum(
+            1 for report in self.reports if report.needed_repair and report.success
+        )
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for report in self.reports if not report.success)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(report.cost for report in self.reports)
+
+    @property
+    def total_validations(self) -> int:
+        return sum(report.validations for report in self.reports)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_tests} tests under {self.model_name}: "
+            f"{self.num_needing_repair} needed fences, {self.num_repaired} repaired "
+            f"(total cost {self.total_cost:g}, {self.total_validations} validations, "
+            f"{self.cache_hits} cache hits)"
+        )
+
+
+def cycle_signature(test: LitmusTest) -> Tuple:
+    """The memo key of a test: the canonical signatures of its cycles."""
+    aeg = aeg_from_litmus(test)
+    return tuple(sorted(cycle.signature() for cycle in critical_cycles(aeg)))
+
+
+def repair_one(
+    test: LitmusTest,
+    model: ModelLike,
+    cache: Optional[CycleCache] = None,
+) -> RepairReport:
+    """Repair one test, consulting and updating the memo cache.
+
+    The static analysis (AEG + critical cycles) and the memo lookup are
+    lazy: tests the model already forbids never pay for either, and
+    tests that need repair run the analysis exactly once (shared between
+    the memo key and :func:`repair_test`).
+    """
+    if cache is None:
+        return repair_test(test, model)
+
+    model_name = model if isinstance(model, str) else getattr(model, "name", "")
+    state: dict = {}
+
+    def analysis():
+        if "aeg" not in state:
+            aeg = aeg_from_litmus(test)
+            state["aeg"] = aeg
+            state["cycles"] = critical_cycles(aeg)
+        return state["aeg"], state["cycles"]
+
+    def signature() -> Tuple[str, Tuple]:
+        _, cycles = analysis()
+        return (
+            str(model_name),
+            tuple(sorted(cycle.signature() for cycle in cycles)),
+        )
+
+    report = repair_test(
+        test,
+        model,
+        initial_mechanisms=lambda: cache.get(signature()),
+        analysis=analysis,
+    )
+    if report.success and report.needed_repair and report.mechanism_seed:
+        cache[signature()] = report.mechanism_seed
+    return report
+
+
+def _repair_chunk(
+    payload: Tuple[List[LitmusTest], str, CycleCache],
+) -> Tuple[List[RepairReport], CycleCache]:
+    """Worker: repair a chunk of tests with a process-local cache."""
+    tests, model_name, cache = payload
+    local: CycleCache = dict(cache)
+    reports = [repair_one(test, model_name, local) for test in tests]
+    return reports, local
+
+
+def repair_family(
+    tests: Sequence[LitmusTest],
+    model: ModelLike,
+    processes: Optional[int] = None,
+    cache: Optional[CycleCache] = None,
+    chunk_size: int = 8,
+) -> CampaignResult:
+    """Repair every test of a family, optionally in parallel.
+
+    ``processes`` > 1 fans the family out over a multiprocessing pool
+    (the model must then be given by *name*, so the workers can rebuild
+    it); otherwise the repairs run serially in-process.  The memo
+    ``cache`` may be shared across calls to amortise work over several
+    families.
+    """
+    if cache is None:
+        cache = {}
+    model_name = model if isinstance(model, str) else getattr(model, "name", str(model))
+
+    if processes is not None and processes > 1 and isinstance(model, str):
+        import multiprocessing
+
+        chunks = [
+            list(tests[index : index + chunk_size])
+            for index in range(0, len(tests), chunk_size)
+        ]
+        payloads = [(chunk, model, dict(cache)) for chunk in chunks]
+        reports: List[RepairReport] = []
+        with multiprocessing.Pool(processes) as pool:
+            for chunk_reports, local_cache in pool.imap(_repair_chunk, payloads):
+                reports.extend(chunk_reports)
+                cache.update(local_cache)
+    else:
+        reports = [repair_one(test, model, cache) for test in tests]
+
+    cache_hits = sum(1 for report in reports if report.from_cache)
+    return CampaignResult(
+        model_name=str(model_name), reports=reports, cache_hits=cache_hits
+    )

@@ -1,0 +1,132 @@
+"""Critical cycles of an abstract event graph.
+
+A cycle of the AEG is *critical* (Shasha & Snir; Sec. 9.1.2 of the
+paper) when:
+
+* it visits each thread at most once, through one contiguous
+  program-order segment;
+* its program-order edges connect accesses to *different* locations
+  (the delay pairs of the cycle);
+* its competing edges connect accesses of different threads to the
+  *same* location, at least one of them a write.
+
+Such a cycle is the static shadow of a potential non-SC execution: the
+execution is forbidden on every architecture exactly when every delay
+pair of the cycle is ordered by some mechanism (fence or dependency).
+Whether a given program-order edge actually *is* a delay depends on the
+target model — that classification lives in
+:mod:`repro.fences.placement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.fences.aeg import AbstractEvent, AbstractEventGraph, PoEdge
+from repro.util.digraph import elementary_cycles
+
+READ = "R"
+WRITE = "W"
+
+
+@dataclass(frozen=True)
+class CriticalCycle:
+    """One critical cycle: its events and its program-order pairs."""
+
+    events: Tuple[AbstractEvent, ...]
+    po_edges: Tuple[PoEdge, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def threads(self) -> Tuple[int, ...]:
+        return tuple(sorted({event.thread for event in self.events}))
+
+    def signature(self) -> Tuple:
+        """A canonical, location/thread-renaming-insensitive description.
+
+        Used by the campaign driver to memoize repair verdicts: two tests
+        whose critical cycles have the same signature need the same
+        fences.  The signature walks the cycle edge by edge, recording
+        edge type, access directions and existing protections, and is
+        normalised over rotations.
+        """
+        n = len(self.events)
+        po_index = {(e.src.thread, e.src.index, e.dst.index): e for e in self.po_edges}
+        descriptors: List[Tuple] = []
+        for i in range(n):
+            a, b = self.events[i], self.events[(i + 1) % n]
+            if a.thread == b.thread:
+                edge = po_index[(a.thread, a.index, b.index)]
+                descriptors.append(
+                    ("po", a.direction, b.direction, edge.protection_signature())
+                )
+            else:
+                descriptors.append(("cmp", a.direction, b.direction))
+        rotations = [
+            tuple(descriptors[i:] + descriptors[:i]) for i in range(len(descriptors))
+        ]
+        return min(rotations)
+
+    def describe(self) -> str:
+        parts = []
+        n = len(self.events)
+        for i in range(n):
+            a, b = self.events[i], self.events[(i + 1) % n]
+            kind = "po" if a.thread == b.thread else "cmp"
+            parts.append(f"{a!r} -{kind}-> ")
+        return "".join(parts) + repr(self.events[0])
+
+
+def _contiguous_thread_segments(events: Sequence[AbstractEvent]) -> bool:
+    """Does the cycle enter each thread exactly once (cyclically)?"""
+    n = len(events)
+    boundaries = sum(
+        1 for i in range(n) if events[i].thread != events[(i + 1) % n].thread
+    )
+    return boundaries == len({event.thread for event in events})
+
+
+def critical_cycles(
+    aeg: AbstractEventGraph, max_length: Optional[int] = None
+) -> List[CriticalCycle]:
+    """Enumerate the critical cycles of an AEG.
+
+    ``max_length`` bounds the cycle length in events; the default allows
+    two accesses per thread, the shape of every classic litmus family.
+    """
+    if max_length is None:
+        max_length = max(4, 2 * len(aeg.threads))
+    cycles: List[CriticalCycle] = []
+    for nodes in elementary_cycles(aeg.graph_edges(), max_length=max_length):
+        cycle = _classify(aeg, nodes)
+        if cycle is not None:
+            cycles.append(cycle)
+    return cycles
+
+
+def _classify(
+    aeg: AbstractEventGraph, nodes: List[AbstractEvent]
+) -> Optional[CriticalCycle]:
+    n = len(nodes)
+    if n < 2:
+        return None
+    if not _contiguous_thread_segments(nodes):
+        return None
+    po_edges: List[PoEdge] = []
+    for i in range(n):
+        a, b = nodes[i], nodes[(i + 1) % n]
+        if a.thread == b.thread:
+            edge = aeg.po_edge(a, b)
+            if edge is None or a.location == b.location:
+                return None
+            po_edges.append(edge)
+        else:
+            if a.location != b.location:
+                return None
+            if a.direction == READ and b.direction == READ:
+                return None
+    if not po_edges:
+        return None
+    return CriticalCycle(events=tuple(nodes), po_edges=tuple(po_edges))

@@ -1,0 +1,336 @@
+"""Fence placement: which mechanism goes between which accesses.
+
+Given the critical cycles of an AEG and a target model, this module
+
+1. classifies each program-order pair of each cycle as *protected* or as
+   a *delay* (relaxable under the model, given the fences and
+   dependencies already present);
+2. selects insertion points with a greedy weighted set cover (the
+   practical core of the min-cut of "Don't sit on the fence"): a fence
+   inserted between two adjacent accesses of a thread cuts every delay
+   pair whose span crosses it, and one insertion can serve several
+   cycles at once;
+3. equips every placement with an *escalation chain* — the per-pair
+   mechanism candidates in ascending cost order (dependency, lightweight
+   fence, full fence on Power; dependency, store fence, dmb on ARM;
+   mfence on x86).  The validation driver walks the chain upward when
+   the herd simulator shows the cheap choice is not cumulative enough
+   (e.g. iriw needs sync even though lwsync statically orders read-read
+   pairs).
+
+Costs follow the architecture manuals' folklore: dependencies are almost
+free, lightweight fences cheap, full fences expensive.  An ILP-optimal
+placement is deliberately left as future work (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fences.aeg import AbstractEventGraph, PoEdge
+from repro.fences.cycles import CriticalCycle
+
+READ = "R"
+WRITE = "W"
+
+ALL_PAIRS = (("W", "W"), ("W", "R"), ("R", "W"), ("R", "R"))
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One ordering mechanism a placement can use.
+
+    ``kind`` is ``"fence"`` (insert a fence instruction), ``"dep"``
+    (insert a false address dependency) or ``"existing"`` (keep the
+    protection already present in the program — zero cost, nothing to
+    insert).
+    """
+
+    kind: str
+    name: str
+    cost: float
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _fence(name: str, cost: float) -> Mechanism:
+    return Mechanism("fence", name, cost)
+
+
+def _dep(cost: float = 1.0) -> Mechanism:
+    return Mechanism("dep", "addr", cost)
+
+
+KEEP = Mechanism("existing", "existing", 0.0)
+
+#: Which direction pairs each fence mnemonic orders, per ISA.
+FENCE_ORDERS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "sync": ALL_PAIRS,
+    "lwsync": (("W", "W"), ("R", "W"), ("R", "R")),
+    "eieio": (("W", "W"),),
+    "dmb": ALL_PAIRS,
+    "dsb": ALL_PAIRS,
+    "dmb.st": (("W", "W"),),
+    "dsb.st": (("W", "W"),),
+    "mfence": ALL_PAIRS,
+}
+
+#: Fence vocabulary available for insertion, by litmus ISA, ascending cost.
+FENCE_COSTS: Dict[str, Tuple[Mechanism, ...]] = {
+    "power": (_fence("lwsync", 2.0), _fence("sync", 4.0)),
+    "arm": (_fence("dmb.st", 2.0), _fence("dmb", 4.0)),
+    "x86": (_fence("mfence", 2.0),),
+}
+
+#: Direction pairs the model may reorder when nothing protects them.
+RELAXED_PAIRS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "sc": (),
+    "tso": (("W", "R"),),
+    "x86": (("W", "R"),),
+    # C++ R-A preserves all of sequenced-before (ppo = po): its allowed
+    # behaviours come from the weakened PROPAGATION axiom, which no
+    # fence of the pseudo-ISA can strengthen — nothing to relax here.
+    "cpp-ra": (),
+    "power": ALL_PAIRS,
+    "pldi2011": ALL_PAIRS,
+    "power-static-ppo": ALL_PAIRS,
+    "arm": ALL_PAIRS,
+    "arm-llh": ALL_PAIRS,
+    "power-arm": ALL_PAIRS,
+    "arm-static-ppo": ALL_PAIRS,
+}
+
+
+#: The fence vocabulary a model actually reacts to.  Litmus tests are
+#: written in a neutral pseudo-ISA, so a test registered as ``power``
+#: can be repaired for TSO — but only mfence means anything there.
+MODEL_ISA: Dict[str, str] = {
+    "tso": "x86",
+    "power": "power",
+    "power-static-ppo": "power",
+    "pldi2011": "power",
+    "arm": "arm",
+    "arm-llh": "arm",
+    "arm-static-ppo": "arm",
+    "power-arm": "arm",
+}
+
+
+def isa_of_model(model_name: str, fallback_arch: str) -> str:
+    """The ISA whose fences the model interprets (fall back to the test's)."""
+    return MODEL_ISA.get(model_name, fallback_arch)
+
+
+def relaxation_profile(model_name: str, arch: str) -> Tuple[Tuple[str, str], ...]:
+    """The relaxable direction pairs of a model (fall back to the ISA's)."""
+    if model_name in RELAXED_PAIRS:
+        return RELAXED_PAIRS[model_name]
+    return RELAXED_PAIRS.get(arch, ALL_PAIRS)
+
+
+def fence_orders_pair(fence: str, pair: Tuple[str, str]) -> bool:
+    return pair in FENCE_ORDERS.get(fence, ())
+
+
+#: Fence mnemonics each ISA's models interpret.
+ISA_FENCES: Dict[str, Tuple[str, ...]] = {
+    "power": ("sync", "lwsync", "eieio"),
+    "arm": ("dmb", "dsb", "dmb.st", "dsb.st"),
+    "x86": ("mfence",),
+}
+
+
+def is_protected(edge: PoEdge, model_name: str, arch: str) -> bool:
+    """Is the pair already ordered by mechanisms present in the program?
+
+    This is the *static* judgement: dependencies count as protection
+    even though they are not cumulative — the validation driver catches
+    (and escalates past) the cases where the static judgement is too
+    optimistic.  Only fences of the model's own ISA count: a Power
+    ``sync`` means nothing to the TSO model.
+    """
+    pair = edge.directions
+    if pair not in relaxation_profile(model_name, arch):
+        return True
+    known = ISA_FENCES.get(isa_of_model(model_name, arch), ())
+    for fence in edge.fences:
+        if fence in known and fence_orders_pair(fence, pair):
+            return True
+    if edge.ctrl_cfence:
+        return True
+    if edge.addr_dep or edge.data_dep:
+        return True
+    if edge.ctrl_dep and edge.dst.direction == WRITE:
+        return True
+    return False
+
+
+@dataclass
+class Placement:
+    """One insertion point plus its escalation chain.
+
+    ``thread``/``gap`` locate the insertion: between access ``gap`` and
+    access ``gap + 1`` of the thread (for dependencies the pair itself is
+    recorded in ``pair_keys``).  ``chain[level]`` is the mechanism in
+    force; level 0 of a latent placement is :data:`KEEP`.
+    """
+
+    thread: int
+    gap: int
+    pair_keys: Tuple[Tuple[int, int, int], ...]
+    chain: Tuple[Mechanism, ...]
+    level: int = 0
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self.chain[self.level]
+
+    @property
+    def cost(self) -> float:
+        return self.mechanism.cost
+
+    def can_escalate(self) -> bool:
+        return self.level + 1 < len(self.chain)
+
+    def escalate(self) -> None:
+        if not self.can_escalate():
+            raise ValueError(f"placement already at strongest mechanism: {self}")
+        self.level += 1
+
+    def __str__(self) -> str:
+        return f"T{self.thread}@{self.gap}:{self.mechanism.name}"
+
+
+def total_cost(placements: Sequence[Placement]) -> float:
+    return sum(placement.cost for placement in placements)
+
+
+def _fence_chain(
+    arch: str, pairs: Sequence[Tuple[str, str]], stronger_than: float = -1.0
+) -> List[Mechanism]:
+    """Fences of the ISA ordering *all* given pairs, ascending cost."""
+    chain = [
+        mechanism
+        for mechanism in FENCE_COSTS.get(arch, FENCE_COSTS["power"])
+        if mechanism.cost > stronger_than
+        and all(fence_orders_pair(mechanism.name, pair) for pair in pairs)
+    ]
+    return chain
+
+
+def _dep_applicable(edge: PoEdge) -> bool:
+    """Can a false address dependency be spliced onto this pair?
+
+    The source must be a read (its destination register carries the
+    taint), the pair must not already carry one, and the destination's
+    index register must be free to take it.
+    """
+    return (
+        edge.src.direction == READ
+        and edge.src.register is not None
+        and not edge.addr_dep
+        and not edge.dst.uses_index_register
+    )
+
+
+def plan_placements(
+    aeg: AbstractEventGraph,
+    cycles: Sequence[CriticalCycle],
+    model_name: str,
+    arch: Optional[str] = None,
+) -> List[Placement]:
+    """Greedy cover of all delay pairs, plus latent placements.
+
+    Returns active placements (a mechanism will be inserted) for every
+    unprotected delay pair of every critical cycle, and *latent*
+    placements (level 0 = keep the existing protection) for the pairs
+    whose static protection might still prove insufficient.  The list is
+    sorted by (thread, gap) for determinism.
+    """
+    arch = arch or isa_of_model(model_name, aeg.arch)
+    edges: Dict[Tuple[int, int, int], PoEdge] = {}
+    for cycle in cycles:
+        for edge in cycle.po_edges:
+            edges.setdefault(edge.key, edge)
+
+    delays = {
+        key: edge
+        for key, edge in edges.items()
+        if not is_protected(edge, model_name, arch)
+    }
+    protected = {key: edge for key, edge in edges.items() if key not in delays}
+
+    placements: List[Placement] = []
+
+    # Candidate insertion gaps: gap g of thread t covers pair (i, j) iff
+    # i <= g < j.  Greedy weighted set cover over the delay pairs.
+    uncovered: Set[Tuple[int, int, int]] = set(delays)
+    while uncovered:
+        best: Optional[Tuple[float, int, int, List[Tuple[int, int, int]], List[Mechanism]]] = None
+        gaps = {
+            (thread, gap)
+            for (thread, i, j) in uncovered
+            for gap in range(i, j)
+        }
+        for thread, gap in sorted(gaps):
+            covered = sorted(
+                key
+                for key in uncovered
+                if key[0] == thread and key[1] <= gap < key[2]
+            )
+            pairs = [delays[key].directions for key in covered]
+            chain = _fence_chain(arch, pairs)
+            if not chain:
+                continue
+            if len(covered) == 1 and _dep_applicable(delays[covered[0]]):
+                chain = [_dep()] + chain
+            score = (chain[0].cost / len(covered), thread, gap)
+            if best is None or score < (best[0], best[1], best[2]):
+                best = (score[0], thread, gap, covered, chain)
+        if best is None:
+            # No fence of the ISA can order some pair; give up on those.
+            break
+        _, thread, gap, covered, chain = best
+        placements.append(
+            Placement(
+                thread=thread,
+                gap=gap,
+                pair_keys=tuple(covered),
+                chain=tuple(chain),
+            )
+        )
+        uncovered -= set(covered)
+
+    # Latent placements: statically protected pairs keep their mechanism
+    # but can be escalated to a real fence when validation demands it.
+    for key in sorted(protected):
+        edge = protected[key]
+        fence_chain = _fence_chain(
+            arch, [edge.directions], stronger_than=_strongest_present(edge)
+        )
+        if not fence_chain:
+            continue
+        placements.append(
+            Placement(
+                thread=key[0],
+                gap=key[2] - 1,
+                pair_keys=(key,),
+                chain=(KEEP, *fence_chain),
+            )
+        )
+
+    placements.sort(key=lambda p: (p.thread, p.gap))
+    return placements
+
+
+def _strongest_present(edge: PoEdge) -> float:
+    """Cost of the strongest mechanism already on the pair (0 = deps only)."""
+    best = 0.0
+    for mechanism in FENCE_COSTS.get("power", ()) + FENCE_COSTS.get("arm", ()) + FENCE_COSTS.get("x86", ()):
+        if mechanism.name in edge.fences and fence_orders_pair(
+            mechanism.name, edge.directions
+        ):
+            best = max(best, mechanism.cost)
+    return best

@@ -1,0 +1,143 @@
+"""Splicing synthesized mechanisms back into litmus tests.
+
+:func:`apply_placements` is a pure function: it rebuilds the repaired
+:class:`~repro.litmus.ast.LitmusTest` from the *original* test and the
+current mechanism of every placement, so the escalation loop can revisit
+its choices without undo logic.
+
+Two splice kinds exist:
+
+* ``fence`` — a :class:`~repro.litmus.instructions.Fence` instruction is
+  inserted immediately before the instruction of the access that ends
+  the placement's gap;
+* ``dep`` — a false address dependency (the classic ``xor r,src,src``
+  idiom) is threaded from the source read into the target access, which
+  must have a free index register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fences.aeg import AbstractEvent, AbstractEventGraph
+from repro.fences.placement import Placement
+from repro.litmus.ast import LitmusTest
+from repro.litmus.instructions import Add, Fence, Instruction, Load, Store, Xor
+
+
+class RepairError(ValueError):
+    """Raised when a placement cannot be spliced into the program."""
+
+
+def _fresh_register(
+    instructions: Sequence[Instruction], hint: int, issued: set
+) -> str:
+    """A register name unused by the thread (``rd1``, ``rd2``, ...).
+
+    ``issued`` holds names already handed out during this repair (they
+    are not yet part of the instruction list).
+    """
+    used = set(issued)
+    for instruction in instructions:
+        for attribute in ("dst", "src", "addr_reg", "index_reg", "left", "right", "reg"):
+            value = getattr(instruction, attribute, None)
+            if isinstance(value, str):
+                used.add(value)
+    index = hint
+    while f"rd{index}" in used:
+        index += 1
+    issued.add(f"rd{index}")
+    return f"rd{index}"
+
+
+def _with_index_register(instruction: Instruction, register: str) -> Instruction:
+    if isinstance(instruction, (Load, Store)):
+        if instruction.index_reg is not None:
+            raise RepairError(
+                f"access {instruction.mnemonic()!r} already carries an index register"
+            )
+        return replace(instruction, index_reg=register)
+    raise RepairError(f"cannot attach an address dependency to {instruction!r}")
+
+
+def apply_placements(
+    test: LitmusTest,
+    aeg: AbstractEventGraph,
+    placements: Sequence[Placement],
+    name_suffix: str = "+fixed",
+) -> LitmusTest:
+    """Return a new litmus test with every active placement spliced in.
+
+    Placements whose mechanism is ``existing`` insert nothing.  The
+    result shares no mutable state with the input test.
+    """
+    threads: List[List[Instruction]] = [list(thread) for thread in test.threads]
+    # Collect insertions per thread as (instr_position, priority, items)
+    # and apply them back to front so indices stay valid.
+    inserts: Dict[int, List[Tuple[int, int, List[Instruction]]]] = {}
+    # Dependencies are grouped per target instruction: several sources
+    # feeding one access are combined into a single index register (an
+    # access has only one), so no placement is silently dropped.
+    dep_sources: Dict[Tuple[int, int], List[str]] = {}
+
+    for order, placement in enumerate(placements):
+        mechanism = placement.mechanism
+        if mechanism.kind == "existing":
+            continue
+        accesses = aeg.threads[placement.thread]
+        if mechanism.kind == "fence":
+            target = accesses[placement.gap + 1]
+            inserts.setdefault(placement.thread, []).append(
+                (target.instr_index, order, [Fence(mechanism.name)])
+            )
+        elif mechanism.kind == "dep":
+            key = placement.pair_keys[0]
+            src = accesses[key[1]]
+            dst = accesses[key[2]]
+            if src.register is None:
+                raise RepairError(f"dependency source {src!r} has no register")
+            dep_sources.setdefault(
+                (placement.thread, dst.instr_index), []
+            ).append(src.register)
+        else:
+            raise RepairError(f"unknown mechanism kind {mechanism.kind!r}")
+
+    issued: set = set()
+    for (thread, position), sources in sorted(dep_sources.items()):
+        # xor rz,src,src per source; add-chain multiple zeros together.
+        new_instructions: List[Instruction] = []
+        zeros: List[str] = []
+        for source in sources:
+            zero = _fresh_register(threads[thread], hint=1, issued=issued)
+            zeros.append(zero)
+            new_instructions.append(Xor(zero, source, source))
+        combined = zeros[0]
+        for extra in zeros[1:]:
+            summed = _fresh_register(threads[thread], hint=1, issued=issued)
+            new_instructions.append(Add(summed, combined, extra))
+            combined = summed
+        threads[thread][position] = _with_index_register(
+            threads[thread][position], combined
+        )
+        inserts.setdefault(thread, []).append((position, -1, new_instructions))
+
+    for thread, items in inserts.items():
+        for position, _, new_instructions in sorted(items, reverse=True):
+            threads[thread][position:position] = new_instructions
+
+    mechanisms = ",".join(
+        str(p.mechanism) for p in placements if p.mechanism.kind != "existing"
+    )
+    doc = test.doc
+    if mechanisms:
+        doc = (doc + " " if doc else "") + f"[repaired: {mechanisms}]"
+    return LitmusTest(
+        name=test.name + name_suffix,
+        arch=test.arch,
+        threads=threads,
+        init_registers=dict(test.init_registers),
+        init_memory=dict(test.init_memory),
+        condition=test.condition,
+        doc=doc,
+    )

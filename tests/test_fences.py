@@ -1,0 +1,281 @@
+"""Tests for the fence synthesis subsystem (repro.fences).
+
+The acceptance bar: every classic diy family — sb, mp, lb, wrc, iriw,
+r, s — must be repairable on x86, Power and ARM; validation must show
+the non-SC outcome observable before the repair and unobservable after;
+and the costs must differentiate (lwsync where it suffices on Power,
+sync only where the shape demands a cumulative fence).
+"""
+
+import pytest
+
+from repro.diy.families import extended_family, two_thread_family
+from repro.fences import (
+    aeg_from_litmus,
+    aeg_from_program,
+    apply_placements,
+    critical_cycles,
+    plan_placements,
+    repair_family,
+    repair_one,
+    repair_test,
+)
+from repro.fences.campaign import cycle_signature
+from repro.fences.placement import is_protected
+from repro.herd import simulate
+from repro.litmus.registry import get_test
+from repro.verification.examples import dekker_example
+
+CLASSICS = ("sb", "mp", "lb", "wrc", "iriw", "r", "s")
+
+
+# -- abstract event graphs ---------------------------------------------------------
+
+
+def test_aeg_of_mp_has_expected_shape():
+    aeg = aeg_from_litmus(get_test("mp"))
+    assert [len(thread) for thread in aeg.threads] == [2, 2]
+    directions = [[e.direction for e in thread] for thread in aeg.threads]
+    assert directions == [["W", "W"], ["R", "R"]]
+    # One po pair per thread, four competing edges (two per location).
+    assert len(aeg.po_edges) == 2
+    assert len(aeg.cmp_edges) == 4
+
+
+def test_aeg_recovers_existing_fences_and_dependencies():
+    aeg = aeg_from_litmus(get_test("mp+lwsync+addr"))
+    writer, reader = aeg.po_edges[0], aeg.po_edges[1]
+    assert writer.fences == ("lwsync",)
+    assert reader.addr_dep
+    aeg2 = aeg_from_litmus(get_test("mp+lwsync+ctrlisync"))
+    assert aeg2.po_edges[1].ctrl_dep and aeg2.po_edges[1].ctrl_cfence
+
+
+def test_aeg_from_verification_program():
+    aeg = aeg_from_program(dekker_example(), arch="power")
+    assert aeg.num_accesses() == 8
+    assert critical_cycles(aeg)
+
+
+# -- critical cycles ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", CLASSICS)
+def test_classics_have_exactly_one_critical_cycle(name):
+    aeg = aeg_from_litmus(get_test(name))
+    cycles = critical_cycles(aeg)
+    assert len(cycles) == 1
+    cycle = cycles[0]
+    assert len(cycle.po_edges) >= 1
+    # Every po edge of a critical cycle links different locations.
+    for edge in cycle.po_edges:
+        assert edge.src.location != edge.dst.location
+
+
+def test_cycle_signatures_are_location_insensitive():
+    # sb and sb's signature must coincide with itself and differ from mp's.
+    assert cycle_signature(get_test("sb")) == cycle_signature(get_test("sb"))
+    assert cycle_signature(get_test("sb")) != cycle_signature(get_test("mp"))
+
+
+# -- placement statics -------------------------------------------------------------
+
+
+def test_protection_is_model_sensitive():
+    aeg = aeg_from_litmus(get_test("sb+syncs"))
+    pair = aeg.po_edges[0]
+    assert is_protected(pair, "power", "power")
+    # The TSO model does not interpret sync: the pair stays a delay.
+    assert not is_protected(pair, "tso", "power")
+
+
+def test_lwsync_does_not_protect_write_read_pairs():
+    aeg = aeg_from_litmus(get_test("sb+lwsyncs"))
+    assert not is_protected(aeg.po_edges[0], "power", "power")
+
+
+# -- end-to-end repair: the acceptance matrix --------------------------------------
+
+
+@pytest.mark.parametrize("model", ("power", "arm", "tso"))
+@pytest.mark.parametrize("name", CLASSICS)
+def test_classics_become_sc_only_after_repair(name, model):
+    report = repair_test(get_test(name), model)
+    assert report.success, report.describe()
+    assert report.after_verdict == "Forbid"
+    if report.needed_repair:
+        # Validation really ran on the spliced test.
+        assert report.repaired is not None
+        assert simulate(report.repaired, model).verdict == "Forbid"
+        assert report.mechanisms
+        assert report.cost > 0
+    else:
+        # The model already forbids the outcome (e.g. mp on TSO).
+        assert report.before_verdict == "Forbid"
+
+
+def test_sb_needs_repair_everywhere():
+    for model in ("power", "arm", "tso"):
+        report = repair_test(get_test("sb"), model)
+        assert report.needed_repair and report.success
+
+
+def test_power_costs_differentiate():
+    """lwsync where it suffices, sync only where cumulativity demands it."""
+    mp = repair_test(get_test("mp"), "power")
+    sb = repair_test(get_test("sb"), "power")
+    iriw = repair_test(get_test("iriw"), "power")
+    assert "sync" not in mp.mechanisms  # lwsync + dependency suffice
+    assert set(sb.mechanisms) == {"sync"}  # W->R pairs: only the full fence
+    assert set(iriw.mechanisms) == {"sync"}  # cumulativity: escalated to sync
+    assert mp.cost < sb.cost
+    assert iriw.validations > sb.validations  # iriw walked the chain upward
+
+
+def test_arm_costs_differentiate():
+    mp = repair_test(get_test("mp"), "arm")
+    sb = repair_test(get_test("sb"), "arm")
+    assert "dmb" not in mp.mechanisms  # dmb.st + dependency suffice
+    assert set(sb.mechanisms) == {"dmb"}
+    assert mp.cost < sb.cost
+
+
+def test_escalation_replaces_insufficient_dependencies():
+    """wrc: two dependencies are not cumulative; one side must be fenced."""
+    report = repair_test(get_test("wrc"), "power")
+    assert report.success
+    assert "lwsync" in report.mechanisms or "sync" in report.mechanisms
+    assert report.validations >= 2
+
+
+def test_existing_insufficient_protection_is_escalated():
+    """iriw+addrs already carries dependencies; they must be overridden."""
+    report = repair_test(get_test("iriw+addrs"), "power")
+    assert report.needed_repair and report.success
+    assert set(report.mechanisms) == {"sync"}
+
+
+def test_repair_keeps_existing_sufficient_mechanisms():
+    """mp+lwsync+po only needs the reader side ordered."""
+    report = repair_test(get_test("mp+lwsync+po"), "power")
+    assert report.success
+    assert report.mechanisms in (("addr",), ("lwsync",))
+    assert report.cost <= 2.0
+
+
+def test_repaired_test_is_a_new_object():
+    original = get_test("sb")
+    report = repair_test(original, "power")
+    assert report.repaired is not original
+    assert report.repaired.name.startswith("sb")
+    assert original.threads != report.repaired.threads
+    # The original is untouched: still allowed.
+    assert simulate(original, "power").verdict == "Allow"
+
+
+def test_dep_not_proposed_when_index_register_is_taken():
+    """An access already computing its address through an index register
+    (an existing addr dependency) cannot take a second false dependency;
+    the planner must fence that pair instead of crashing in the splice."""
+    from repro.litmus.ast import TestBuilder
+
+    builder = TestBuilder("dep-occupied", arch="power")
+    t0 = builder.thread()
+    r1 = t0.load("x")
+    r2 = t0.load("y")
+    r3 = t0.load_addr_dep("z", dep_on=r1)
+    t1 = builder.thread()
+    t1.store("z", 1)
+    t1.store("y", 1)
+    t1.store("x", 1)
+    builder.exists({(0, r1): 0, (0, r2): 1, (0, r3): 0})
+    report = repair_test(builder.build(), "power")
+    assert report.after_verdict in ("Allow", "Forbid")  # no RepairError escape
+    aeg = aeg_from_litmus(builder.build())
+    assert aeg.threads[0][2].uses_index_register
+
+
+def test_two_dependencies_on_one_access_are_both_spliced():
+    """Two dep placements targeting one instruction must combine, not
+    overwrite each other (the access has a single index register)."""
+    from repro.fences.placement import Mechanism, Placement
+    from repro.litmus.ast import TestBuilder
+    from repro.litmus.instructions import Add, Load, Xor
+
+    builder = TestBuilder("two-deps", arch="power")
+    t0 = builder.thread()
+    r1 = t0.load("x")
+    r2 = t0.load("y")
+    t0.load("z")
+    builder.exists({(0, r1): 0})
+    test = builder.build()
+    aeg = aeg_from_litmus(test)
+
+    dep = Mechanism("dep", "addr", 1.0)
+    placements = [
+        Placement(thread=0, gap=1, pair_keys=((0, 0, 2),), chain=(dep,)),
+        Placement(thread=0, gap=1, pair_keys=((0, 1, 2),), chain=(dep,)),
+    ]
+    repaired = apply_placements(test, aeg, placements)
+    instructions = repaired.threads[0]
+    xors = [i for i in instructions if isinstance(i, Xor)]
+    adds = [i for i in instructions if isinstance(i, Add)]
+    assert {x.left for x in xors} == {r1, r2}  # both sources survive
+    assert len(adds) == 1  # combined into one index register
+    (load_z,) = [
+        i for i in instructions if isinstance(i, Load) and i.addr_reg == "rAz"
+    ]
+    assert load_z.index_reg == adds[0].dst
+
+
+# -- campaign ----------------------------------------------------------------------
+
+
+def test_campaign_repairs_whole_family_with_cache():
+    tests = two_thread_family("power", limit=24)
+    cache = {}
+    result = repair_family(tests, "power", cache=cache)
+    assert result.num_tests == len(tests)
+    assert result.num_failed == 0
+    assert result.num_repaired == result.num_needing_repair
+    assert cache  # the memo cache filled up
+    # A second run over the same family is all cache hits for the
+    # tests that needed repair, and never worse.
+    rerun = repair_family(tests, "power", cache=cache)
+    assert rerun.cache_hits >= result.cache_hits
+    assert rerun.total_validations <= result.total_validations
+
+
+def test_campaign_extended_family_wrc_iriw_shapes():
+    tests = extended_family("power", limit=12)
+    result = repair_family(tests, "power")
+    assert result.num_failed == 0
+
+
+def test_cache_seeding_skips_escalation_rounds():
+    cache = {}
+    first = repair_one(get_test("iriw"), "power", cache)
+    again = repair_one(get_test("iriw"), "power", cache)
+    assert first.success and again.success
+    assert not first.from_cache and again.from_cache
+    assert again.validations < first.validations
+    assert again.mechanisms == first.mechanisms
+
+
+def test_campaign_parallel_matches_serial():
+    tests = two_thread_family("power", limit=12)
+    serial = repair_family(tests, "power")
+    parallel = repair_family(tests, "power", processes=2, chunk_size=4)
+    assert [r.success for r in serial.reports] == [r.success for r in parallel.reports]
+    assert [r.mechanisms for r in serial.reports] == [
+        r.mechanisms for r in parallel.reports
+    ]
+
+
+# -- reports -----------------------------------------------------------------------
+
+
+def test_report_describe_mentions_mechanisms_and_cost():
+    report = repair_test(get_test("mp"), "power")
+    text = report.describe()
+    assert "mp" in text and "repaired" in text and "cost" in text

@@ -49,6 +49,15 @@ def test_transitive_closure_and_star():
     assert (EVENTS[0], EVENTS[2]) in star
 
 
+def test_star_accepts_one_shot_iterables_and_memoizes():
+    r = _relation([(0, 1)])
+    star = r.star(iter(EVENTS[:3]))  # a generator must not be half-consumed
+    for event in EVENTS[:3]:
+        assert (event, event) in star
+    assert r.star(EVENTS[:3]) == star  # cached result, same universe
+    assert r.plus() is r.plus()  # closure memoized per instance
+
+
 def test_acyclicity_and_irreflexivity():
     acyclic = _relation([(0, 1), (1, 2)])
     cyclic = _relation([(0, 1), (1, 0)])

@@ -81,7 +81,12 @@ _COMM = st.sampled_from([rfe, fre, coe])
 @settings(max_examples=25, deadline=None)
 def test_property_generated_two_thread_tests_are_well_behaved(comm1, comm2, mech1, mech2):
     """Any two-thread critical cycle yields a well-formed test whose allowed
-    outcomes respect the SC ⊆ TSO ⊆ Power inclusion."""
+    outcomes respect the model-strength inclusions.
+
+    SC ⊆ TSO and SC ⊆ Power hold unconditionally.  TSO ⊆ Power only
+    holds for fence-free tests: TSO does not interpret Power's fences,
+    so e.g. sb+syncs is forbidden by Power yet allowed by TSO.
+    """
     first_dirs = (comm2().dst_dir, comm1().src_dir)
     second_dirs = (comm1().dst_dir, comm2().src_dir)
     edges = [
@@ -92,7 +97,10 @@ def test_property_generated_two_thread_tests_are_well_behaved(comm1, comm2, mech
     ]
     test = generate_test(Cycle.of(edges))
     outcomes = [simulate(test, model).allowed_outcomes for model in MODEL_STRENGTH_ORDER]
-    assert outcomes[0] <= outcomes[1] <= outcomes[2]
+    assert outcomes[0] <= outcomes[1]
+    assert outcomes[0] <= outcomes[2]
+    if not any(edge.fence is not None for edge in edges):
+        assert outcomes[1] <= outcomes[2]
     # The SC simulator allows at least one outcome of every test.
     assert outcomes[0]
 
