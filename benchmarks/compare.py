@@ -1,0 +1,102 @@
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Exit status is non-zero when any benchmark common to both files is more
+than ``threshold`` (default 20%) slower in CURRENT than in BASELINE,
+measured on the mean. Benchmarks present in only one file are reported
+but never fail the comparison (new benchmarks appear, old ones retire).
+
+The committed ``BENCH_*.json`` baselines were recorded with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_table9_simulation_speed.py \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_table9.json
+
+Absolute times are hardware-dependent: comparisons are only meaningful
+against a baseline recorded on comparable hardware.  CI therefore runs
+this script with a wider ``--threshold`` than the local default (the
+committed baselines come from the development container), and its real
+regression signal is the trend of the uploaded artifacts over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float], threshold: float):
+    """Return (rows, regressions) comparing mean times by benchmark name."""
+    rows = []
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            rows.append((name, None, cur, None, "new"))
+            continue
+        if cur is None:
+            rows.append((name, base, None, None, "removed"))
+            continue
+        ratio = cur / base if base else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append((name, base, cur, ratio))
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        rows.append((name, base, cur, ratio, status))
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed relative slowdown before failing (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    rows, regressions = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold
+    )
+    for name, base, cur, ratio, status in rows:
+        base_s = f"{base:.4f}s" if base is not None else "-"
+        cur_s = f"{cur:.4f}s" if cur is not None else "-"
+        ratio_s = f"{ratio:5.2f}x" if ratio is not None else "     -"
+        print(f"{status:>10}  {ratio_s}  {base_s:>10} -> {cur_s:>10}  {name}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed by more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, base, cur, ratio in regressions:
+            print(
+                f"  {name}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -139,6 +139,12 @@ class Event:
     action: Action = field(compare=False)
     instruction_index: Optional[int] = field(default=None, compare=False)
 
+    def __post_init__(self) -> None:
+        # Events are dict keys in every interning table and relation; the
+        # tuple hash is precomputed once instead of per lookup.  The value
+        # matches the dataclass-generated hash over the compare fields.
+        object.__setattr__(self, "_hash", hash((self.thread, self.poi, self.eid)))
+
     # -- convenience predicates -------------------------------------------------
 
     def is_memory_access(self) -> bool:
@@ -200,6 +206,15 @@ class Event:
 
     def __repr__(self) -> str:
         return f"Event({self!s})"
+
+
+def _cached_hash(self: Event) -> int:
+    return self._hash  # type: ignore[attr-defined]
+
+
+# Installed after class creation: @dataclass(frozen=True) would otherwise
+# replace an in-class __hash__ with the generated tuple hash.
+Event.__hash__ = _cached_hash  # type: ignore[assignment]
 
 
 def proc(event: Event) -> int:

@@ -154,14 +154,12 @@ class Execution:
 
     @cached_property
     def fr(self) -> Relation:
-        """From-read: read r -> write w1 when r reads from w0 co-before w1."""
-        pairs = []
-        co_pairs = self.co.pairs
-        for w0, r in self.rf:
-            for src, w1 in co_pairs:
-                if src == w0:
-                    pairs.append((r, w1))
-        return Relation(pairs)
+        """From-read: read r -> write w1 when r reads from w0 co-before w1.
+
+        Computed as ``rf⁻¹; co`` so kernel-backed rf/co stay in the
+        bitmask kernel (see :mod:`repro.core.bitrel`).
+        """
+        return self.rf.inverse().seq(self.co)
 
     @cached_property
     def com(self) -> Relation:
@@ -255,9 +253,9 @@ class Execution:
     def final_memory_state(self) -> Dict[str, int]:
         """Location -> value of the co-maximal write (the final state)."""
         result: Dict[str, int] = {}
+        co_closure = self.co.transitive_closure()
         for location in self.locations:
             per_loc = [w for w in self.writes if w.location == location]
-            co_closure = self.co.transitive_closure()
             maximal = [
                 w for w in per_loc
                 if not any((w, other) in co_closure for other in per_loc if other != w)

@@ -128,22 +128,35 @@ class Model:
     def name(self) -> str:
         return self.architecture.name
 
-    def check(self, execution: Execution, stop_at_first: bool = False) -> CheckResult:
+    def check(
+        self,
+        execution: Execution,
+        stop_at_first: bool = False,
+        assume_sc_per_location: bool = False,
+    ) -> CheckResult:
         """Check the four axioms on a candidate execution.
 
         When ``stop_at_first`` is True the check returns as soon as one
         axiom fails (faster for plain allowed/forbidden queries); when
         False every violated axiom is reported, which the anomaly
         classification of Tab. VIII relies on.
+
+        ``assume_sc_per_location`` skips the SC PER LOCATION axiom: the
+        pruning enumeration engine (:mod:`repro.herd.engine`) only emits
+        candidates it has already proven uniproc-consistent, so the
+        check would always pass.
         """
         arch = self.architecture
         violations: List[AxiomViolation] = []
 
-        violation = axioms.check_sc_per_location(execution, arch.sc_per_location_variant)
-        if violation is not None:
-            violations.append(violation)
-            if stop_at_first:
-                return CheckResult(False, tuple(violations))
+        if not assume_sc_per_location:
+            violation = axioms.check_sc_per_location(
+                execution, arch.sc_per_location_variant
+            )
+            if violation is not None:
+                violations.append(violation)
+                if stop_at_first:
+                    return CheckResult(False, tuple(violations))
 
         ppo = arch.ppo(execution)
         fences = arch.fences(execution)

@@ -37,8 +37,9 @@ Sec. 8.2 (``rdw`` removed from ``ii0`` and ``detour`` removed from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
+from repro.core.bitrel import rows_seq
 from repro.core.execution import Execution
 from repro.core.relation import Relation
 
@@ -64,6 +65,35 @@ def _fixpoint(
         new_ic = ic0 | ii | cc | ic.seq(cc) | ii.seq(ic)
         new_ci = ci0 | ci.seq(ii) | cc.seq(ci)
         new_cc = cc0 | ci | ci.seq(ic) | cc.seq(cc)
+        if (new_ii, new_ic, new_ci, new_cc) == (ii, ic, ci, cc):
+            return ii, ic, ci, cc
+        ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
+
+
+def _fixpoint_rows(
+    ii0: List[int], ic0: List[int], ci0: List[int], cc0: List[int]
+) -> Tuple[List[int], List[int], List[int], List[int]]:
+    """The same fixpoint, run on raw successor rows of the bitmask kernel.
+
+    This is the hottest loop of a Power/ARM model check; working on
+    plain lists of ints sidesteps one Relation allocation per operator
+    per iteration.
+    """
+    ii, ic, ci, cc = list(ii0), list(ic0), list(ci0), list(cc0)
+    indices = range(len(ii))
+    while True:
+        ic_ci = rows_seq(ic, ci)
+        ii_ii = rows_seq(ii, ii)
+        new_ii = [ii0[i] | ci[i] | ic_ci[i] | ii_ii[i] for i in indices]
+        ic_cc = rows_seq(ic, cc)
+        ii_ic = rows_seq(ii, ic)
+        new_ic = [ic0[i] | ii[i] | cc[i] | ic_cc[i] | ii_ic[i] for i in indices]
+        ci_ii = rows_seq(ci, ii)
+        cc_ci = rows_seq(cc, ci)
+        new_ci = [ci0[i] | ci_ii[i] | cc_ci[i] for i in indices]
+        ci_ic = rows_seq(ci, ic)
+        cc_cc = rows_seq(cc, cc)
+        new_cc = [cc0[i] | ci[i] | ci_ic[i] | cc_cc[i] for i in indices]
         if (new_ii, new_ic, new_ci, new_cc) == (ii, ic, ci, cc):
             return ii, ic, ci, cc
         ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
@@ -97,6 +127,33 @@ def ppo_components(
     cc0 = dp | execution.ctrl | execution.addr.seq(execution.po)
     if include_po_loc_in_cc0:
         cc0 = cc0 | execution.po_loc
+
+    index = ii0._index
+    if (
+        index is not None
+        and ci0._index is index
+        and cc0._index is index
+    ):
+        # Kernel fast path: iterate on raw rows, wrap once at the end.
+        zero = [0] * index.n
+        ii_r, ic_r, ci_r, cc_r = _fixpoint_rows(
+            list(ii0._rows), zero, list(ci0._rows), list(cc0._rows)
+        )
+        reads_mask = index.reads_mask
+        writes_mask = index.writes_mask
+        ppo_rows = [
+            ((ii_r[i] & reads_mask) | (ic_r[i] & writes_mask))
+            if reads_mask >> i & 1
+            else 0
+            for i in range(index.n)
+        ]
+        return PpoComponents(
+            ii=Relation.from_rows(index, ii_r),
+            ic=Relation.from_rows(index, ic_r),
+            ci=Relation.from_rows(index, ci_r),
+            cc=Relation.from_rows(index, cc_r),
+            ppo=Relation.from_rows(index, ppo_rows),
+        )
 
     ii, ic, ci, cc = _fixpoint(ii0, ic0, ci0, cc0)
     ppo = execution.restrict_rr(ii) | execution.restrict_rw(ic)

@@ -76,11 +76,16 @@ class RepairReport:
 def validate_repair(
     original: LitmusTest, repaired: LitmusTest, model: ModelLike
 ) -> Tuple[str, str]:
-    """Verdicts (before, after) of the target outcome under the model."""
+    """Verdicts (before, after) of the target outcome under the model.
+
+    Uses the simulator's verdict fast path (pruning enumeration, early
+    exit on the target outcome): the escalation loop only ever needs
+    Allow/Forbid, never the full outcome summary.
+    """
     simulator = Simulator(model)
     return (
-        simulator.run(original).verdict,
-        simulator.run(repaired).verdict,
+        simulator.verdict(original),
+        simulator.verdict(repaired),
     )
 
 
@@ -111,7 +116,7 @@ def repair_test(
     simulator = Simulator(model)
     model_name = simulator.model_name
 
-    before = simulator.run(test).verdict
+    before = simulator.verdict(test)
     if before == "Forbid":
         return RepairReport(
             test_name=test.name,
@@ -155,7 +160,7 @@ def repair_test(
                 break
             min(deps, key=lambda p: (p.cost, p.thread, p.gap)).escalate()
             continue
-        after = simulator.run(repaired).verdict
+        after = simulator.verdict(repaired)
         validations += 1
         if after == "Forbid":
             success = True

@@ -1,0 +1,403 @@
+"""Incremental pruning execution engine (the production enumerator).
+
+The naive oracle in :mod:`repro.herd.enumerate` materializes the full
+cross product (all rf maps × all per-location coherence orders) and
+lets the model reject invalid candidates one by one.  Most rejections
+are SC-PER-LOCATION (uniproc) violations, and those are detectable on
+*partial* assignments: once a prefix of rf/co choices closes a cycle in
+``po-loc ∪ rf ∪ co ∪ fr``, every extension of that prefix is doomed.
+This engine therefore walks the assignment tree depth-first and cuts
+whole subtrees:
+
+* the per-combination event universe is interned once into an
+  :class:`~repro.core.bitrel.EventIndex` and the uniproc graph is kept
+  as a transitively-closed bitmask reachability matrix, updated in
+  O(n) word operations per added edge (``bitrel.add_edge_closure``);
+* an rf edge ``w → r`` is rejected immediately when ``r`` already
+  reaches ``w`` (reading from the future), or when some same-location
+  write ``w''`` is reachable from ``w`` and reaches ``r`` (uniproc
+  would force ``co(w, w'')`` and hence the cycle
+  ``r →fr w'' →poloc r``);
+* a coherence order for one location is rejected as soon as one of its
+  edges (or a derived from-read edge) closes a cycle, skipping the
+  cross product of every later location's orders.
+
+Pruned subtrees are *counted, not enumerated*: candidate totals and the
+observable-outcome universe are products over per-read source counts
+and per-location order counts, so full
+:class:`~repro.herd.simulator.SimulationResult` summaries stay exactly
+equal to the naive engine's (the differential suite asserts this).
+Surviving candidates satisfy SC PER LOCATION by construction, so model
+checks run with ``assume_sc_per_location=True`` and only evaluate the
+remaining three axioms.
+
+``surviving_candidates`` is also the shared front door for the
+multi-event and operational simulators: a uniproc-violating candidate
+is forbidden by every engine of the Tab. IX comparison (the lifted
+sc-per-location check, and the machine's coWW/coWR/coRW/coRR premises,
+reject exactly the same cycles — Thm. 7.1), so verdict queries never
+need to visit the pruned subtrees at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bitrel import add_edge_closure, iter_bits, rows_closure
+from repro.core.events import Event
+from repro.herd.enumerate import (
+    Candidate,
+    CombinationContext,
+    _thread_paths,
+    combination_context,
+    combination_contexts,
+)
+from repro.litmus.ast import LitmusTest
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+#: SC PER LOCATION variants the engine knows how to prune with.
+_VARIANTS = ("standard", "llh")
+
+
+class SurvivingLeaf:
+    """One uniproc-consistent assignment; the candidate builds on demand."""
+
+    __slots__ = ("context", "assignment", "orders", "outcome")
+
+    def __init__(
+        self,
+        context: CombinationContext,
+        assignment: Tuple[Tuple[Event, Event], ...],
+        orders: Tuple[Tuple[Event, ...], ...],
+        outcome: Optional[Outcome],
+    ):
+        self.context = context
+        self.assignment = assignment
+        self.orders = orders
+        self.outcome = outcome
+
+    def candidate(self) -> Candidate:
+        return self.context.candidate(
+            self.context.rf_relation(self.assignment),
+            self.context.co_relation(self.orders),
+        )
+
+
+class ComboPlan:
+    """The pruning plan of one combination of per-thread paths."""
+
+    def __init__(
+        self,
+        context: CombinationContext,
+        test: Optional[LitmusTest] = None,
+        variant: str = "standard",
+    ):
+        if variant not in _VARIANTS:
+            raise ValueError(f"unknown SC PER LOCATION variant: {variant!r}")
+        self.context = context
+        self.test = test
+        self.variant = variant
+        index = context.index
+
+        po_loc = context.po.same_location()
+        if variant == "llh":
+            # Load-load hazards allowed: read-read pairs leave po-loc.
+            reads_mask = index.reads_mask
+            rows = [
+                row & ~reads_mask if reads_mask >> i & 1 else row
+                for i, row in enumerate(po_loc._rows)
+            ]
+        else:
+            rows = list(po_loc._rows)
+        self._base_closure = rows_closure(rows)
+
+        self.total = context.total_candidates
+        #: candidates skipped by pruning during the last `survivors()` walk.
+        self.pruned = 0
+
+    # -- outcome universe ---------------------------------------------------------
+
+    def _final_values(self) -> Dict[str, Set[int]]:
+        """Per location, the possible final (co-maximal) values."""
+        finals: Dict[str, Set[int]] = {}
+        for location, orders in zip(self.context.locations, self.context.co_orders):
+            finals[location] = {
+                order[-1].value if order[-1].value is not None else 0
+                for order in orders
+            }
+        return finals
+
+    def _register_part(self) -> List[Tuple[str, int]]:
+        """The register projection of the outcome (fixed per combination)."""
+        condition = self.test.condition if self.test is not None else None
+        if condition is None:
+            return []
+        registers = self.context.final_registers
+        return [
+            (f"{atom.thread}:{atom.name}", int(registers.get((atom.thread, atom.name), 0)))
+            for atom in condition.atoms
+            if atom.kind == "reg"
+        ]
+
+    def _project(
+        self, register_part: List[Tuple[str, int]], memory: Dict[str, int]
+    ) -> Outcome:
+        """Project (registers, final memory) onto the condition — the
+        single source of the engine's outcome shape, byte-identical to
+        :meth:`repro.herd.enumerate.Candidate.outcome`."""
+        condition = self.test.condition if self.test is not None else None
+        if condition is None:
+            return tuple(sorted(set(memory.items())))
+        observed = register_part + [
+            (atom.name, memory.get(atom.name, 0))
+            for atom in condition.atoms
+            if atom.kind == "mem"
+        ]
+        return tuple(sorted(set(observed)))
+
+    def all_outcomes(self) -> Set[Outcome]:
+        """Outcomes of *every* candidate of this combination (incl. pruned).
+
+        The final registers are fixed by the thread paths and the final
+        memory of each location is the last write of its coherence
+        order, so the outcome universe is a product over per-location
+        final values — no enumeration needed.
+        """
+        if self.total == 0:
+            return set()
+        condition = self.test.condition if self.test is not None else None
+        register_part = self._register_part()
+        if condition is not None:
+            referenced = sorted(
+                {atom.name for atom in condition.atoms if atom.kind == "mem"}
+            )
+            if not referenced:
+                return {self._project(register_part, {})}
+        else:
+            referenced = sorted(self.context.locations)
+
+        finals = self._final_values()
+        choices = [sorted(finals.get(location, {0})) for location in referenced]
+        return {
+            self._project(register_part, dict(zip(referenced, values)))
+            for values in itertools.product(*choices)
+        }
+
+    def _leaf_outcome(
+        self, register_part: List[Tuple[str, int]], orders: Sequence[Sequence[Event]]
+    ) -> Outcome:
+        """Outcome of one surviving candidate."""
+        condition = self.test.condition if self.test is not None else None
+        if condition is not None and not any(
+            atom.kind == "mem" for atom in condition.atoms
+        ):
+            return self._project(register_part, {})
+        memory = {
+            location: (order[-1].value if order[-1].value is not None else 0)
+            for location, order in zip(self.context.locations, orders)
+        }
+        return self._project(register_part, memory)
+
+    # -- the pruned walk ----------------------------------------------------------
+
+    def survivors(
+        self, with_outcomes: bool = True
+    ) -> Iterator[Tuple[Candidate, Optional[Outcome]]]:
+        """Depth-first walk yielding only uniproc-consistent candidates.
+
+        Yields ``(candidate, outcome)`` pairs (``outcome`` is None when
+        ``with_outcomes`` is False).  After exhaustion, ``self.pruned``
+        holds the number of candidates skipped by subtree cuts, and
+        ``pruned + number of survivors == total``.
+        """
+        for leaf in self.leaves(with_outcomes=with_outcomes):
+            yield leaf.candidate(), leaf.outcome
+
+    def leaves(self, with_outcomes: bool = True) -> Iterator["SurvivingLeaf"]:
+        """Like :meth:`survivors`, but candidates materialize lazily.
+
+        Verdict-only queries read the (cheap) outcome first and only
+        build the :class:`Execution` for leaves that can actually
+        witness the target.
+        """
+        self.pruned = 0
+        context = self.context
+        if context.reads and not context.feasible:
+            return
+        index = context.index
+        ids = index.ids
+        writes_mask = index.writes_mask
+        location_masks = index.location_masks
+
+        reads = context.reads
+        read_ids = [ids[read] for read in reads]
+        source_lists = [
+            [(write, ids[write]) for write in sources]
+            for sources in context.rf_sources
+        ]
+        co_orders = context.co_orders
+        num_reads = len(reads)
+        num_locations = len(co_orders)
+
+        # Suffix products for counting pruned subtrees.
+        rf_suffix = [1] * (num_reads + 1)
+        for depth in range(num_reads - 1, -1, -1):
+            rf_suffix[depth] = rf_suffix[depth + 1] * len(source_lists[depth])
+        co_suffix = [1] * (num_locations + 1)
+        for k in range(num_locations - 1, -1, -1):
+            co_suffix[k] = co_suffix[k + 1] * len(co_orders[k])
+        co_total = co_suffix[0]
+
+        register_part = self._register_part() if with_outcomes else []
+        condition = self.test.condition if self.test is not None else None
+        constant_outcome: Optional[Outcome] = None
+        if (
+            with_outcomes
+            and condition is not None
+            and all(atom.kind == "reg" for atom in condition.atoms)
+        ):
+            # Register-only condition: the outcome is fixed by the thread
+            # paths, identical for every rf/co child of this combination.
+            constant_outcome = tuple(sorted(set(register_part)))
+        assignment: List[Tuple[Event, Event]] = []
+        readers: Dict[int, List[int]] = {}
+
+        def co_walk(
+            k: int, closure: List[int], chosen: List[Tuple[Event, ...]]
+        ) -> Iterator["SurvivingLeaf"]:
+            if k == num_locations:
+                if constant_outcome is not None:
+                    outcome: Optional[Outcome] = constant_outcome
+                elif with_outcomes:
+                    outcome = self._leaf_outcome(register_part, chosen)
+                else:
+                    outcome = None
+                yield SurvivingLeaf(
+                    context, tuple(assignment), tuple(chosen), outcome
+                )
+                return
+            for order in co_orders[k]:
+                branch = list(closure)
+                ok = True
+                for i in range(len(order) - 1):
+                    earlier = ids[order[i]]
+                    later = ids[order[i + 1]]
+                    if branch[later] >> earlier & 1:
+                        ok = False
+                        break
+                    add_edge_closure(branch, earlier, later)
+                    # Derived from-read edges: r reads `earlier`, which is
+                    # now co-before `later`, so fr(r, later).
+                    for rid in readers.get(earlier, ()):
+                        if branch[later] >> rid & 1:
+                            ok = False
+                            break
+                        add_edge_closure(branch, rid, later)
+                    if not ok:
+                        break
+                if not ok:
+                    self.pruned += co_suffix[k + 1]
+                    continue
+                chosen.append(order)
+                yield from co_walk(k + 1, branch, chosen)
+                chosen.pop()
+
+        def rf_walk(depth: int, closure: List[int]) -> Iterator["SurvivingLeaf"]:
+            if depth == num_reads:
+                yield from co_walk(0, closure, [])
+                return
+            read = reads[depth]
+            rid = read_ids[depth]
+            loc_writes = location_masks.get(read.location, 0) & writes_mask
+            for write, wid in source_lists[depth]:
+                # Reading from the future: r already reaches w.
+                if closure[rid] >> wid & 1:
+                    self.pruned += rf_suffix[depth + 1] * co_total
+                    continue
+                # Doomed source: some same-location write w'' is (or will
+                # be forced) co-after w yet reaches r, so fr(r, w'')
+                # closes a cycle in every completion.
+                intervening = loc_writes & ~(1 << wid)
+                if not write.is_init():
+                    intervening &= closure[wid]
+                if any(
+                    closure[wid2] >> rid & 1 for wid2 in iter_bits(intervening)
+                ):
+                    self.pruned += rf_suffix[depth + 1] * co_total
+                    continue
+                branch = list(closure)
+                add_edge_closure(branch, wid, rid)
+                assignment.append((write, read))
+                readers.setdefault(wid, []).append(rid)
+                yield from rf_walk(depth + 1, branch)
+                readers[wid].pop()
+                assignment.pop()
+
+        yield from rf_walk(0, list(self._base_closure))
+
+
+def plans(
+    test: LitmusTest,
+    variant: str = "standard",
+    value_domain: Optional[Sequence[int]] = None,
+) -> Iterator[ComboPlan]:
+    """One :class:`ComboPlan` per combination of per-thread paths."""
+    for context in combination_contexts(test, value_domain):
+        yield ComboPlan(context, test, variant)
+
+
+def target_plans(
+    test: LitmusTest,
+    variant: str = "standard",
+    value_domain: Optional[Sequence[int]] = None,
+) -> Iterator[ComboPlan]:
+    """Plans of the combinations that could witness the target outcome.
+
+    The final registers are fixed by the thread paths alone, so any
+    register atom of the condition filters whole combinations *before*
+    the event universe is interned or any relation built — for a
+    register-only ``exists`` clause (the common litmus shape) only the
+    combinations that actually match the target are ever constructed.
+    Memory atoms are left to the caller's outcome-universe check.
+    """
+    condition = test.condition
+    assert condition is not None, "target_plans needs a final condition"
+    register_atoms = [atom for atom in condition.atoms if atom.kind == "reg"]
+    all_paths = _thread_paths(test, value_domain)
+    locations = set(test.locations())
+    for combination in itertools.product(*all_paths):
+        matches = True
+        for atom in register_atoms:
+            # Unknown threads/registers read as 0, exactly as in
+            # Candidate.outcome's final_registers.get(..., 0) default.
+            if atom.thread is None or not 0 <= atom.thread < len(combination):
+                value: object = 0
+            else:
+                value = combination[atom.thread].final_registers.get(atom.name, 0)
+            if int(value) != atom.value:
+                matches = False
+                break
+        if not matches:
+            continue
+        context = combination_context(combination, locations, test.init_memory)
+        yield ComboPlan(context, test, variant)
+
+
+def surviving_candidates(
+    test: LitmusTest,
+    variant: str = "standard",
+    value_domain: Optional[Sequence[int]] = None,
+    with_outcomes: bool = True,
+) -> Iterator[Tuple[Candidate, Optional[Outcome]]]:
+    """Every uniproc-consistent candidate of *test*, with its outcome.
+
+    The pruned complement is exactly the set of candidates the naive
+    oracle generates and every model then rejects through SC PER
+    LOCATION (for the given *variant*), so Allow/Forbid queries — under
+    the axiomatic, multi-event or operational engines alike — lose
+    nothing by iterating survivors only.
+    """
+    for plan in plans(test, variant, value_domain):
+        yield from plan.survivors(with_outcomes=with_outcomes)

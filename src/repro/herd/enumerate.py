@@ -14,6 +14,16 @@ instruction semantics, this module builds every candidate execution
 
 The constraint specification (the model) then decides which candidates
 are valid; that part lives in :mod:`repro.herd.simulator`.
+
+This module is the *reference oracle*: it materializes every candidate
+by brute-force cross product.  The production engine lives in
+:mod:`repro.herd.engine`, which shares :class:`CombinationContext` (the
+per-combination event universe interned into a
+:class:`~repro.core.bitrel.EventIndex`, and the po/dependency/fence
+relations built once in the bitmask kernel and shared across all rf×co
+children) but prunes partial rf/co assignments instead of generating
+and rejecting.  The differential suite (``tests/test_differential.py``)
+holds the two engines to identical candidate sets and verdicts.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.bitrel import EventIndex
 from repro.core.events import Event
 from repro.core.execution import Execution
 from repro.core.relation import Relation
@@ -32,8 +43,6 @@ from repro.litmus.semantics import (
     thread_init_registers,
     value_domain_of,
 )
-from repro.util.digraph import linear_extensions
-
 
 @dataclass(frozen=True)
 class Candidate:
@@ -50,19 +59,23 @@ class Candidate:
 
         The projection mirrors what the litmus harness logs on hardware:
         the registers and locations mentioned in the final condition (or
-        every memory location when the test has no condition).
+        every memory location when the test has no condition).  The
+        final-memory replay (a coherence-order walk) runs only when the
+        condition actually mentions a memory location.
         """
         observed: List[Tuple[str, int]] = []
-        memory = self.final_memory()
         if test.condition is not None:
+            memory: Optional[Dict[str, int]] = None
             for atom in test.condition.atoms:
                 if atom.kind == "reg":
                     value = self.final_registers.get((atom.thread, atom.name), 0)
                     observed.append((f"{atom.thread}:{atom.name}", int(value)))
                 else:
+                    if memory is None:
+                        memory = self.final_memory()
                     observed.append((atom.name, memory.get(atom.name, 0)))
         else:
-            observed.extend(sorted(memory.items()))
+            observed.extend(sorted(self.final_memory().items()))
         return tuple(sorted(set(observed)))
 
 
@@ -79,40 +92,219 @@ def _thread_paths(
     return paths
 
 
-def _read_from_choices(
-    reads: Sequence[Event], writes: Sequence[Event]
-) -> Iterator[Tuple[Tuple[Event, Event], ...]]:
-    """All read-from maps: one same-location same-value write per read."""
-    per_read: List[List[Tuple[Event, Event]]] = []
-    for read in reads:
-        sources = [
-            (write, read)
+@dataclass
+class CombinationContext:
+    """Everything one choice of per-thread paths shares across rf×co children.
+
+    The event universe is interned once into an :class:`EventIndex`; the
+    program order, dependency and fence relations are built once in the
+    bitmask kernel and reused by every candidate (and by every model
+    check over those candidates).
+    """
+
+    index: EventIndex
+    all_events: Tuple[Event, ...]
+    events_frozen: frozenset
+    po: Relation
+    addr: Relation
+    data: Relation
+    ctrl: Relation
+    ctrl_cfence: Relation
+    fences: Dict[str, Relation]
+    final_registers: Dict[Tuple[int, str], RegisterValue]
+    touched: frozenset
+    writes: Tuple[Event, ...]
+    reads: Tuple[Event, ...]
+    #: per read, the candidate rf sources (same location, same value).
+    rf_sources: Tuple[Tuple[Event, ...], ...]
+    #: per (sorted) location, the coherence orders (init first).
+    locations: Tuple[str, ...]
+    co_orders: Tuple[Tuple[Tuple[Event, ...], ...], ...]
+
+    @property
+    def feasible(self) -> bool:
+        return all(self.rf_sources) or not self.reads
+
+    @property
+    def rf_count(self) -> int:
+        count = 1
+        for sources in self.rf_sources:
+            count *= len(sources)
+        return count
+
+    @property
+    def co_count(self) -> int:
+        count = 1
+        for orders in self.co_orders:
+            count *= len(orders)
+        return count
+
+    @property
+    def total_candidates(self) -> int:
+        if self.reads and not self.feasible:
+            return 0
+        return self.rf_count * self.co_count
+
+    def rf_relation(self, assignment: Sequence[Tuple[Event, Event]]) -> Relation:
+        """Kernel rf relation from ``(write, read)`` pairs."""
+        rows = [0] * self.index.n
+        ids = self.index.ids
+        for write, read in assignment:
+            rows[ids[write]] |= 1 << ids[read]
+        return Relation.from_rows(self.index, rows)
+
+    def co_relation(self, orders: Sequence[Sequence[Event]]) -> Relation:
+        """Kernel co relation from one total order per location."""
+        rows = [0] * self.index.n
+        ids = self.index.ids
+        for order in orders:
+            later = 0
+            for event in reversed(order):
+                i = ids[event]
+                rows[i] |= later
+                later |= 1 << i
+        return Relation.from_rows(self.index, rows)
+
+    def execution(self, rf: Relation, co: Relation) -> Execution:
+        return Execution(
+            events=self.events_frozen,
+            po=self.po,
+            rf=rf,
+            co=co,
+            addr=self.addr,
+            data=self.data,
+            ctrl=self.ctrl,
+            ctrl_cfence=self.ctrl_cfence,
+            fences_by_name=self.fences,
+        )
+
+    def candidate(self, rf: Relation, co: Relation) -> Candidate:
+        return Candidate(
+            execution=self.execution(rf, co),
+            final_registers=dict(self.final_registers),
+        )
+
+
+def combination_context(
+    combination: Sequence[ThreadExecution],
+    locations: Iterable[str] = (),
+    initial_values: Optional[Mapping[str, int]] = None,
+) -> CombinationContext:
+    """Intern one choice of per-thread paths and build its shared relations."""
+    events: List[Event] = []
+    addr_pairs: List[Tuple[Event, Event]] = []
+    data_pairs: List[Tuple[Event, Event]] = []
+    ctrl_pairs: List[Tuple[Event, Event]] = []
+    ctrl_cfence_pairs: List[Tuple[Event, Event]] = []
+    fence_pairs: Dict[str, List[Tuple[Event, Event]]] = {}
+    final_registers: Dict[Tuple[int, str], RegisterValue] = {}
+
+    for path in combination:
+        events.extend(path.memory_events)
+        addr_pairs.extend(path.addr)
+        data_pairs.extend(path.data)
+        ctrl_pairs.extend(path.ctrl)
+        ctrl_cfence_pairs.extend(path.ctrl_cfence)
+        for name, pairs in path.fences.items():
+            fence_pairs.setdefault(name, []).extend(pairs)
+        for register, value in path.final_registers.items():
+            final_registers[(path.thread, register)] = value
+
+    touched = frozenset(locations) | {
+        e.location for e in events if e.location is not None
+    }
+    init_writes = Execution.initial_writes(touched, initial_values)
+    all_events = tuple(init_writes + events)
+    # Already sorted: init writes (thread -1) come location-ordered, then
+    # each thread's memory events in program order — i.e. (thread, poi).
+    index = EventIndex(all_events, presorted=True)
+
+    po_rows = [0] * index.n
+    ids = index.ids
+    for path in combination:
+        later = 0
+        for event in reversed(path.memory_events):
+            i = ids[event]
+            po_rows[i] |= later
+            later |= 1 << i
+
+    def interned(pairs: Sequence[Tuple[Event, Event]]) -> Relation:
+        rows = index.rows_of_pairs(pairs)
+        assert rows is not None
+        return Relation.from_rows(index, rows)
+
+    writes = tuple(e for e in all_events if e.is_write())
+    reads = tuple(e for e in all_events if e.is_read())
+
+    rf_sources = tuple(
+        tuple(
+            write
             for write in writes
             if write.location == read.location and write.value == read.value
-        ]
-        if not sources:
-            return  # this combination of thread paths is infeasible
-        per_read.append(sources)
+        )
+        for read in reads
+    )
+
+    sorted_locations = tuple(sorted(touched))
+    co_orders: List[Tuple[Tuple[Event, ...], ...]] = []
+    for location in sorted_locations:
+        local_writes = [w for w in writes if w.location == location]
+        init = tuple(w for w in local_writes if w.is_init())
+        rest = sorted(w for w in local_writes if not w.is_init())
+        # Unconstrained linear extensions are plain permutations (the
+        # empty permutation makes this (init,) when there is no other
+        # write to the location).
+        co_orders.append(
+            tuple(init + order for order in itertools.permutations(rest))
+        )
+
+    return CombinationContext(
+        index=index,
+        all_events=all_events,
+        events_frozen=frozenset(all_events),
+        po=Relation.from_rows(index, po_rows),
+        addr=interned(addr_pairs),
+        data=interned(data_pairs),
+        ctrl=interned(ctrl_pairs),
+        ctrl_cfence=interned(ctrl_cfence_pairs),
+        fences={name: interned(pairs) for name, pairs in fence_pairs.items()},
+        final_registers=final_registers,
+        touched=touched,
+        writes=writes,
+        reads=reads,
+        rf_sources=rf_sources,
+        locations=sorted_locations,
+        co_orders=tuple(co_orders),
+    )
+
+
+def combination_contexts(
+    test: LitmusTest, value_domain: Optional[Sequence[int]] = None
+) -> Iterator[CombinationContext]:
+    """One :class:`CombinationContext` per choice of per-thread paths."""
+    all_paths = _thread_paths(test, value_domain)
+    locations = set(test.locations())
+    for combination in itertools.product(*all_paths):
+        yield combination_context(combination, locations, test.init_memory)
+
+
+def _read_from_choices(
+    context: CombinationContext,
+) -> Iterator[Tuple[Tuple[Event, Event], ...]]:
+    """All read-from maps: one same-location same-value write per read."""
+    if context.reads and not context.feasible:
+        return  # this combination of thread paths is infeasible
+    per_read = [
+        [(write, read) for write in sources]
+        for read, sources in zip(context.reads, context.rf_sources)
+    ]
     yield from itertools.product(*per_read)
 
 
-def _coherence_choices(
-    writes: Sequence[Event], locations: Iterable[str]
-) -> Iterator[Relation]:
+def _coherence_choices(context: CombinationContext) -> Iterator[Relation]:
     """All coherence orders: per location, a total order with init first."""
-    per_location: List[List[Tuple[Tuple[Event, ...], ...]]] = []
-    orders_per_location: List[List[Tuple[Event, ...]]] = []
-    for location in sorted(set(locations)):
-        local_writes = [w for w in writes if w.location == location]
-        init = [w for w in local_writes if w.is_init()]
-        rest = [w for w in local_writes if not w.is_init()]
-        orders = [tuple(init) + order for order in linear_extensions(rest, ())]
-        orders_per_location.append(orders if orders else [tuple(init)])
-    for combination in itertools.product(*orders_per_location):
-        relation = Relation()
-        for order in combination:
-            relation = relation | Relation.from_order(order)
-        yield relation
+    for combination in itertools.product(*context.co_orders):
+        yield context.co_relation(combination)
 
 
 def candidates_of_combination(
@@ -128,63 +320,28 @@ def candidates_of_combination(
     shared between the litmus front-end (:func:`candidate_executions`)
     and the verification front-end (:mod:`repro.verification.bmc`).
     """
-    events: List[Event] = []
-    po = Relation()
-    addr = Relation()
-    data = Relation()
-    ctrl = Relation()
-    ctrl_cfence = Relation()
-    fences: Dict[str, Relation] = {}
-    final_registers: Dict[Tuple[int, str], RegisterValue] = {}
+    context = combination_context(combination, locations, initial_values)
+    yield from candidates_of_context(context)
 
-    for path in combination:
-        events.extend(path.memory_events)
-        po = po | Relation.from_order(path.memory_events)
-        addr = addr | Relation(path.addr)
-        data = data | Relation(path.data)
-        ctrl = ctrl | Relation(path.ctrl)
-        ctrl_cfence = ctrl_cfence | Relation(path.ctrl_cfence)
-        for name, pairs in path.fences.items():
-            fences[name] = fences.get(name, Relation()) | Relation(pairs)
-        for register, value in path.final_registers.items():
-            final_registers[(path.thread, register)] = value
 
-    touched = set(locations) | {
-        e.location for e in events if e.location is not None
-    }
-    init_writes = Execution.initial_writes(touched, initial_values)
-    all_events = init_writes + events
-    writes = [e for e in all_events if e.is_write()]
-    reads = [e for e in all_events if e.is_read()]
-
-    for rf_pairs in _read_from_choices(reads, writes):
-        rf = Relation(rf_pairs)
-        for co in _coherence_choices(writes, touched):
-            execution = Execution(
-                events=frozenset(all_events),
-                po=po,
-                rf=rf,
-                co=co,
-                addr=addr,
-                data=data,
-                ctrl=ctrl,
-                ctrl_cfence=ctrl_cfence,
-                fences_by_name=dict(fences),
-            )
-            yield Candidate(execution=execution, final_registers=dict(final_registers))
+def candidates_of_context(context: CombinationContext) -> Iterator[Candidate]:
+    """Brute-force cross product over one combination's rf and co choices."""
+    for rf_pairs in _read_from_choices(context):
+        rf = context.rf_relation(rf_pairs)
+        for co in _coherence_choices(context):
+            yield context.candidate(rf, co)
 
 
 def candidate_executions(
     test: LitmusTest, value_domain: Optional[Sequence[int]] = None
 ) -> Iterator[Candidate]:
-    """Yield every candidate execution of *test*."""
-    all_paths = _thread_paths(test, value_domain)
-    locations = set(test.locations())
-
-    for combination in itertools.product(*all_paths):
-        yield from candidates_of_combination(combination, locations, test.init_memory)
+    """Yield every candidate execution of *test* (naive reference oracle)."""
+    for context in combination_contexts(test, value_domain):
+        yield from candidates_of_context(context)
 
 
 def count_candidates(test: LitmusTest) -> int:
     """Number of candidate executions of a test (used by benchmarks)."""
-    return sum(1 for _ in candidate_executions(test))
+    return sum(
+        context.total_candidates for context in combination_contexts(test)
+    )

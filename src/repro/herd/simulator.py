@@ -14,20 +14,42 @@ test, checks each against the model and summarises:
 The ``model`` argument accepts a :class:`~repro.core.model.Model`, a
 :class:`~repro.core.model.Architecture`, an architecture name (``"power"``,
 ``"tso"``...) or a cat-interpreted model object exposing ``check``.
+
+Two enumeration engines sit underneath (selected by ``engine=``):
+
+* ``"pruning"`` (the default where applicable) — the incremental engine
+  of :mod:`repro.herd.engine`: partial rf/co assignments that violate
+  SC PER LOCATION are cut as whole subtrees, whose candidate counts and
+  outcomes are reconstructed combinatorially, so the summary is
+  *identical* to the naive engine's;
+* ``"naive"`` — the brute-force reference oracle of
+  :mod:`repro.herd.enumerate`, kept for differential testing and for
+  queries the pruning engine does not serve (``keep_candidates``, duck
+  -typed models whose axiom set is unknown).
+
+``run(..., until="target")`` is the verdict-only fast path: enumeration
+stops the moment the target outcome is proven reachable, and model
+checks are skipped for candidates whose outcome cannot match the
+target.  Counts and outcome sets in the result are then partial; only
+``target_reachable`` / ``verdict`` are authoritative.  The fence-repair
+escalation loop and the campaign drivers use it via :meth:`Simulator.verdict`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple, Union
 
 from repro.core.architectures import get_architecture
 from repro.core.model import Architecture, CheckResult, Model
+from repro.herd import engine as _engine
 from repro.herd.enumerate import Candidate, candidate_executions
 from repro.litmus.ast import LitmusTest
 
 Outcome = Tuple[Tuple[str, int], ...]
 ModelLike = Union[str, Architecture, Model]
+
+ENGINES = ("auto", "pruning", "naive")
 
 
 def _as_model(model: ModelLike) -> Model:
@@ -56,6 +78,9 @@ class SimulationResult:
     num_allowed: int
     allowed_candidates: Tuple[Candidate, ...] = ()
     forbidden_candidates: Tuple[Tuple[Candidate, CheckResult], ...] = ()
+    #: True when the run stopped early (``until="target"``): counts and
+    #: outcome sets cover only the candidates explored before the exit.
+    partial: bool = False
 
     @property
     def verdict(self) -> str:
@@ -74,20 +99,131 @@ class SimulationResult:
 
 
 class Simulator:
-    """A reusable simulator bound to one model."""
+    """A reusable simulator bound to one model.
 
-    def __init__(self, model: ModelLike):
+    ``engine`` selects the enumeration strategy: ``"pruning"`` (subtree
+    cuts on SC PER LOCATION violations), ``"naive"`` (the reference
+    cross product) or ``"auto"`` (pruning whenever the query and the
+    model allow it).
+    """
+
+    def __init__(self, model: ModelLike, engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
         self.model = _as_model(model)
+        self.engine = engine
 
     @property
     def model_name(self) -> str:
         return getattr(self.model, "name", str(self.model))
+
+    def _pruning_variant(self) -> Optional[str]:
+        """The SC PER LOCATION variant to prune with, or None if the
+        model's axiom set is unknown (duck-typed models)."""
+        architecture = getattr(self.model, "architecture", None)
+        variant = getattr(architecture, "sc_per_location_variant", None)
+        if isinstance(self.model, Model) and variant in _engine._VARIANTS:
+            return variant
+        return None
 
     def run(
         self,
         test: LitmusTest,
         keep_candidates: bool = False,
         stop_at_first_violation: bool = True,
+        until: Optional[str] = None,
+    ) -> SimulationResult:
+        if until not in (None, "target"):
+            raise ValueError(f"unknown until mode {until!r}")
+        variant = self._pruning_variant()
+        use_pruning = (
+            self.engine in ("auto", "pruning")
+            and not keep_candidates
+            and variant is not None
+        )
+        if use_pruning:
+            return self._run_pruning(test, variant, until)
+        return self._run_naive(
+            test, keep_candidates, stop_at_first_violation, until
+        )
+
+    def verdict(self, test: LitmusTest) -> str:
+        """Allow/Forbid for the target outcome (early-exit fast path)."""
+        return self.run(test, until="target").verdict
+
+    # -- pruning engine -----------------------------------------------------------
+
+    def _run_pruning(
+        self, test: LitmusTest, variant: str, until: Optional[str]
+    ) -> SimulationResult:
+        check = self.model.check
+        allowed_outcomes: set = set()
+        all_outcomes: set = set()
+        num_candidates = 0
+        num_allowed = 0
+        target_found = False
+        verdict_only = until == "target" and test.condition is not None
+
+        plan_source = (
+            _engine.target_plans(test, variant)
+            if verdict_only
+            else _engine.plans(test, variant)
+        )
+        for plan in plan_source:
+            num_candidates += plan.total
+            if verdict_only:
+                # A combination whose entire outcome universe misses the
+                # target cannot witness reachability: skip its walk.  For
+                # register-only conditions (the common case) the universe
+                # is a single outcome fixed by the thread paths.
+                if not any(
+                    self._outcome_satisfies(test, outcome)
+                    for outcome in plan.all_outcomes()
+                ):
+                    continue
+            else:
+                all_outcomes |= plan.all_outcomes()
+            for leaf in plan.leaves():
+                outcome = leaf.outcome
+                matches = (
+                    self._outcome_satisfies(test, outcome)
+                    if test.condition is not None
+                    else False
+                )
+                if verdict_only and not matches:
+                    continue  # cannot witness the target; never materialized
+                result = check(
+                    leaf.candidate().execution,
+                    stop_at_first=True,
+                    assume_sc_per_location=True,
+                )
+                if result.allowed:
+                    num_allowed += 1
+                    allowed_outcomes.add(outcome)
+                    if matches:
+                        target_found = True
+                        if verdict_only:
+                            break
+            if verdict_only and target_found:
+                break
+
+        return self._summarise(
+            test,
+            allowed_outcomes,
+            all_outcomes,
+            num_candidates,
+            num_allowed,
+            partial=verdict_only and target_found,
+        )
+
+    # -- naive engine -------------------------------------------------------------
+
+    def _run_naive(
+        self,
+        test: LitmusTest,
+        keep_candidates: bool,
+        stop_at_first_violation: bool,
+        until: Optional[str],
     ) -> SimulationResult:
         allowed_outcomes: set = set()
         all_outcomes: set = set()
@@ -95,11 +231,20 @@ class Simulator:
         forbidden: List[Tuple[Candidate, CheckResult]] = []
         num_candidates = 0
         num_allowed = 0
+        target_found = False
+        verdict_only = until == "target" and test.condition is not None
 
         for candidate in candidate_executions(test):
             num_candidates += 1
             outcome = candidate.outcome(test)
             all_outcomes.add(outcome)
+            matches = (
+                self._outcome_satisfies(test, outcome)
+                if test.condition is not None
+                else False
+            )
+            if verdict_only and not matches:
+                continue
             result = self.model.check(
                 candidate.execution, stop_at_first=stop_at_first_violation
             )
@@ -108,13 +253,40 @@ class Simulator:
                 allowed_outcomes.add(outcome)
                 if keep_candidates:
                     allowed.append(candidate)
+                if matches:
+                    target_found = True
+                    if verdict_only:
+                        break
             elif keep_candidates:
                 forbidden.append((candidate, result))
 
+        return self._summarise(
+            test,
+            allowed_outcomes,
+            all_outcomes,
+            num_candidates,
+            num_allowed,
+            allowed=tuple(allowed),
+            forbidden=tuple(forbidden),
+            partial=verdict_only and target_found,
+        )
+
+    # -- shared summary -----------------------------------------------------------
+
+    def _summarise(
+        self,
+        test: LitmusTest,
+        allowed_outcomes: set,
+        all_outcomes: set,
+        num_candidates: int,
+        num_allowed: int,
+        allowed: Tuple[Candidate, ...] = (),
+        forbidden: Tuple[Tuple[Candidate, CheckResult], ...] = (),
+        partial: bool = False,
+    ) -> SimulationResult:
         target_reachable = False
         condition_holds = True
         if test.condition is not None:
-            # Reachability is determined from the allowed outcomes only.
             any_match = any(
                 self._outcome_satisfies(test, outcome) for outcome in allowed_outcomes
             )
@@ -133,8 +305,9 @@ class Simulator:
             condition_holds=condition_holds,
             num_candidates=num_candidates,
             num_allowed=num_allowed,
-            allowed_candidates=tuple(allowed),
-            forbidden_candidates=tuple(forbidden),
+            allowed_candidates=allowed,
+            forbidden_candidates=forbidden,
+            partial=partial,
         )
 
     @staticmethod
@@ -154,10 +327,13 @@ def simulate(
     model: ModelLike,
     keep_candidates: bool = False,
     stop_at_first_violation: bool = True,
+    until: Optional[str] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Simulate *test* under *model* (convenience wrapper around Simulator)."""
-    return Simulator(model).run(
+    return Simulator(model, engine=engine).run(
         test,
         keep_candidates=keep_candidates,
         stop_at_first_violation=stop_at_first_violation,
+        until=until,
     )

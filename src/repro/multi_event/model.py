@@ -27,11 +27,12 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.core import axioms
 from repro.core.architectures import power_architecture
 from repro.core.axioms import AxiomViolation
+from repro.core.bitrel import EventIndex, iter_bits
 from repro.core.events import Event
 from repro.core.execution import Execution
 from repro.core.model import Architecture, CheckResult
 from repro.core.relation import Relation
-from repro.herd.enumerate import candidate_executions
+from repro.herd.engine import surviving_candidates
 from repro.litmus.ast import LitmusTest
 
 
@@ -56,14 +57,36 @@ def propagation_copies(execution: Execution) -> Dict[Event, List[PropagationCopy
 
 
 def lift_relation(
-    relation: Relation, copies: Dict[Event, List[PropagationCopy]]
+    relation: Relation,
+    copies: Dict[Event, List[PropagationCopy]],
+    index: Optional[EventIndex] = None,
 ) -> Relation:
     """Lift a relation over events to the per-thread propagation copies.
 
     Each pair ``(x, y)`` becomes ``(x_T, y_T)`` for every thread ``T``
     (events with a single copy contribute their copy to every layer), so
     a cycle exists in the lifted relation iff one exists in the original.
+
+    When an :class:`EventIndex` over the copies is supplied, the lifted
+    relation is built directly in the bitmask kernel — the model still
+    pays for the enlarged event set (the point of the Tab. IX cost
+    comparison), but its relational algebra runs on the same kernel as
+    the single-event model.
     """
+    if index is not None:
+        rows = [0] * index.n
+        ids = index.ids
+        for source, target in relation:
+            source_copies = copies.get(source, ())
+            target_copies = copies.get(target, ())
+            single = len(source_copies) == 1 or len(target_copies) == 1
+            for source_copy in source_copies:  # pragma: no branch
+                row = 0
+                for target_copy in target_copies:
+                    if single or source_copy.thread == target_copy.thread:
+                        row |= 1 << ids[target_copy]
+                rows[ids[source_copy]] |= row
+        return Relation.from_rows(index, rows)
     pairs = []
     for source, target in relation:
         for source_copy in copies.get(source, ()):  # pragma: no branch
@@ -82,30 +105,125 @@ class MultiEventModel:
 
     def __init__(self, architecture: Optional[Architecture] = None):
         self.architecture = architecture if architecture is not None else power_architecture()
+        #: events-universe -> (copies, copy index).  Candidates of one
+        #: family share their event set, so the per-thread copies and
+        #: their interning table are built once per family, not per
+        #: candidate.  (Keyed by the frozen event set itself; bounded by
+        #: the number of distinct families a model instance sees.)
+        self._copy_cache: Dict[object, Tuple[dict, EventIndex, Optional[tuple]]] = {}
 
     @property
     def name(self) -> str:
         return f"multi-event({self.architecture.name})"
 
-    def check(self, execution: Execution, stop_at_first: bool = False) -> CheckResult:
+    def _copies_of(self, execution: Execution) -> Tuple[dict, EventIndex, Optional[tuple]]:
+        # Key by the interning table object when there is one: candidates
+        # of one combination share it, and the id-level lift tables only
+        # apply to relations over that exact index.  (EventIndex has
+        # identity semantics, and being the key keeps it alive.)
+        origin = execution.po._index
+        key: object = origin if origin is not None else execution.events
+        cached = self._copy_cache.get(key)
+        if cached is None:
+            copies = propagation_copies(execution)
+            copy_index = EventIndex(
+                (
+                    copy
+                    for event in sorted(copies)
+                    for copy in copies[event]
+                ),
+                # Copies order as (event, thread) and each per-event list
+                # ascends by thread, so this flattening is presorted.
+                presorted=True,
+            )
+            # Id-level lift tables: when the execution's relations live in
+            # the bitmask kernel, lifting works on integer ids alone —
+            # per original id, whether it is single-copy, the mask of all
+            # its copies, and its copy id per thread layer.
+            lift_table = None
+            if origin is not None and all(
+                event in origin.ids for event in copies
+            ):
+                single = [False] * origin.n
+                all_copies = [0] * origin.n
+                by_thread: List[Dict[int, int]] = [dict() for _ in range(origin.n)]
+                for event, event_copies in copies.items():
+                    i = origin.ids[event]
+                    single[i] = len(event_copies) == 1
+                    for copy in event_copies:
+                        copy_id = copy_index.ids[copy]
+                        all_copies[i] |= 1 << copy_id
+                        by_thread[i][copy.thread] = copy_id
+                lift_table = (origin, single, all_copies, by_thread)
+            cached = (copies, copy_index, lift_table)
+            if len(self._copy_cache) > 64:  # families come and go; stay bounded
+                self._copy_cache.clear()
+            self._copy_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _lift(
+        relation: Relation,
+        copies: dict,
+        copy_index: EventIndex,
+        lift_table: Optional[tuple],
+    ) -> Relation:
+        """Lift through the id tables when possible, else via the events."""
+        if lift_table is not None:
+            origin, single, all_copies, by_thread = lift_table
+            rows = relation._rows_in(origin)
+            if rows is not None:
+                lifted = [0] * copy_index.n
+                for i, row in enumerate(rows):
+                    if not row:
+                        continue
+                    source_layers = by_thread[i]
+                    for j in iter_bits(row):
+                        if single[i] or single[j]:
+                            mask = all_copies[j]
+                            for copy_id in source_layers.values():
+                                lifted[copy_id] |= mask
+                        else:
+                            target_layers = by_thread[j]
+                            for thread, copy_id in source_layers.items():
+                                target = target_layers.get(thread)
+                                if target is not None:
+                                    lifted[copy_id] |= 1 << target
+                return Relation.from_rows(copy_index, lifted)
+        return lift_relation(relation, copies, copy_index)
+
+    def check(
+        self,
+        execution: Execution,
+        stop_at_first: bool = False,
+        assume_sc_per_location: bool = False,
+    ) -> CheckResult:
+        """Check the lifted axioms.
+
+        ``assume_sc_per_location`` skips the lifted SC PER LOCATION
+        cycle check: a cycle exists in the lifted relation iff one
+        exists in the original, so for candidates the pruning engine
+        already proved uniproc-consistent the check cannot fail.
+        """
         arch = self.architecture
-        copies = propagation_copies(execution)
+        copies, copy_index, lift_table = self._copies_of(execution)
         violations: List[AxiomViolation] = []
 
         def lifted_cycle_check(label: str, relation: Relation) -> Optional[AxiomViolation]:
-            lifted = lift_relation(relation, copies)
+            lifted = self._lift(relation, copies, copy_index, lift_table)
             cycle = lifted.find_cycle()
             if cycle is None:
                 return None
             return AxiomViolation(label, tuple(copy.event for copy in cycle))
 
-        violation = lifted_cycle_check(
-            axioms.AXIOM_SC_PER_LOCATION, execution.po_loc | execution.com
-        )
-        if violation is not None:
-            violations.append(violation)
-            if stop_at_first:
-                return CheckResult(False, tuple(violations))
+        if not assume_sc_per_location:
+            violation = lifted_cycle_check(
+                axioms.AXIOM_SC_PER_LOCATION, execution.po_loc | execution.com
+            )
+            if violation is not None:
+                violations.append(violation)
+                if stop_at_first:
+                    return CheckResult(False, tuple(violations))
 
         ppo = arch.ppo(execution)
         fences = arch.fences(execution)
@@ -120,18 +238,17 @@ class MultiEventModel:
         prop = arch.prop(execution, ppo, fences)
 
         # OBSERVATION: irreflexive(fre; prop; hb*), composed over the copies.
-        lifted_fre = lift_relation(execution.fre, copies)
-        lifted_prop = lift_relation(prop, copies)
-        lifted_hb_star = lift_relation(hb, copies).reflexive_transitive_closure(
-            [copy for event_copies in copies.values() for copy in event_copies]
+        lifted_fre = self._lift(execution.fre, copies, copy_index, lift_table)
+        lifted_prop = self._lift(prop, copies, copy_index, lift_table)
+        lifted_hb_star = self._lift(hb, copies, copy_index, lift_table).reflexive_transitive_closure(
+            frozenset(copy_index.events)
         )
         composed = lifted_fre.seq(lifted_prop).seq(lifted_hb_star)
-        for source, target in composed:
-            if source == target:
-                violations.append(AxiomViolation(axioms.AXIOM_OBSERVATION, (source.event,)))
-                if stop_at_first:
-                    return CheckResult(False, tuple(violations))
-                break
+        if not composed.is_irreflexive():
+            source = next(s for s, t in composed if s == t)
+            violations.append(AxiomViolation(axioms.AXIOM_OBSERVATION, (source.event,)))
+            if stop_at_first:
+                return CheckResult(False, tuple(violations))
 
         violation = lifted_cycle_check(axioms.AXIOM_PROPAGATION, execution.co | prop)
         if violation is not None:
@@ -158,12 +275,21 @@ class MultiEventSimulator:
 
     def verdict(self, test: LitmusTest) -> str:
         assert test.condition is not None, "litmus tests carry a final condition"
-        for candidate in candidate_executions(test):
-            if not self.model.allows(candidate.execution):
+        # Uniproc-violating candidates are forbidden by the lifted
+        # SC PER LOCATION check, so only the pruning engine's survivors
+        # can contribute an Allow verdict — and for those the lifted
+        # uniproc check is a proven no-op.
+        for candidate, outcome in surviving_candidates(test):
+            result = self.model.check(
+                candidate.execution,
+                stop_at_first=True,
+                assume_sc_per_location=True,
+            )
+            if not result.allowed:
                 continue
-            outcome = dict(candidate.outcome(test))
+            observed = dict(outcome)
             matches = all(
-                outcome.get(
+                observed.get(
                     f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
                 )
                 == atom.value

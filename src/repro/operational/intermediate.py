@@ -9,8 +9,8 @@ Its labels are
 * ``c(w,r)``— commit read,
 
 and its state is ``(cw, cpw, sr, cr)``: the committed writes, the writes
-having reached coherence point (a list, i.e. a total order), the
-satisfied reads and the committed reads.
+having reached coherence point, the satisfied reads and the committed
+reads.
 
 Given a candidate execution (which fixes ``rf`` and ``co``), the machine
 *accepts* the execution when some interleaving of all its labels fires
@@ -24,41 +24,35 @@ Sec. 7.1: the commit-read rule records which write each read took its
 value from, so that the coRR pattern is rejected exactly as in the
 axiomatic model.
 
-Two presentation details differ from the figure (both documented in
-DESIGN.md): the initial writes start out committed and at their
-coherence point, and the commit-write/satisfy-read rules additionally
-require the processing order to linearise the propagation order — the
-figure obtains the same effect for full fences through the interplay of
-its premises with the per-thread propagation steps of the underlying
-storage subsystem, which this abstraction does not model explicitly.
-The equivalence with the axiomatic model (Thm. 7.1) is validated
-empirically by ``tests/test_operational.py`` and
-``benchmarks/bench_thm71_equivalence.py``.
+Two presentation details differ from the figure: the initial writes
+start out committed and at their coherence point; and the
+commit-write/satisfy-read rules additionally require the processing
+order to linearise the propagation order — the figure obtains the same
+effect for full fences through the interplay of its premises with the
+per-thread propagation steps of the underlying storage subsystem,
+which this abstraction does not model explicitly.
 
-The search for an accepting interleaving is an explicit-state DFS with
-memoisation on visited states — deliberately the "operational" cost
-model that Tab. IX compares against axiomatic simulation.
+The set-valued state components are bitmasks over the execution's
+interned event ids (:class:`~repro.core.bitrel.EventIndex`) and the
+coherence-point component stays the figure's total order (a tuple of
+ids): each premise of Fig. 30 is one AND against a precomputed
+per-event row.  This is still — deliberately — the "operational" cost
+model that Tab. IX compares against axiomatic simulation: an
+explicit-state search over the interleavings, paying per state and per
+coherence-point linearisation, not per axiom.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.architectures import power_architecture
+from repro.core.bitrel import EventIndex, iter_bits, rows_seq
 from repro.core.execution import Execution
 from repro.core.model import Architecture
 from repro.core.relation import Relation
 from repro.herd.enumerate import candidate_executions
 from repro.litmus.ast import LitmusTest
-
-
-@dataclass(frozen=True)
-class _MachineState:
-    committed_writes: FrozenSet
-    coherence_point: Tuple  # ordered tuple of writes
-    satisfied_reads: FrozenSet
-    committed_reads: FrozenSet
 
 
 class IntermediateMachine:
@@ -75,191 +69,207 @@ class IntermediateMachine:
 
     def accepts(self, execution: Execution) -> bool:
         """Is there an accepting interleaving of the execution's labels?"""
+        index = execution.po._index
+        if index is None or any(
+            event not in index.ids for event in execution.events
+        ):
+            index = EventIndex(execution.events)
+
+        def rows_of(relation: Relation) -> List[int]:
+            rows = relation._rows_in(index)
+            assert rows is not None, "execution relation escapes its event universe"
+            return list(rows)
+
         relations = self.architecture.relations(execution)
         ppo = relations["ppo"]
-        fences = relations["fences"]
-        prop = relations["prop"]
-        hb = relations["hb"]
-        hb_star = hb.reflexive_transitive_closure(execution.memory_events)
-        prop_hb_star = prop.seq(hb_star)
-        ppo_fences = ppo | fences
-        po_loc = execution.po_loc
-        co = execution.co
-        rf_source: Dict = {read: write for write, read in execution.rf}
-
-        writes = sorted(execution.writes)
-        reads = sorted(execution.reads)
-        # The initial writes are considered committed and at their coherence
-        # point from the start; they carry no labels.
-        init_writes = tuple(sorted(execution.init_writes))
-        program_writes = [w for w in writes if not w.is_init()]
-
-        visible_cache: Dict = {}
-
-        def visible(write, read) -> bool:
-            key = (write, read)
-            if key in visible_cache:
-                return visible_cache[key]
-            result = self._visible(execution, write, read)
-            visible_cache[key] = result
-            return result
-
-        initial = _MachineState(
-            committed_writes=frozenset(init_writes),
-            coherence_point=init_writes,
-            satisfied_reads=frozenset(),
-            committed_reads=frozenset(),
+        fences = rows_of(relations["fences"])
+        prop = rows_of(relations["prop"])
+        hb_star = relations["hb"].reflexive_transitive_closure(
+            execution.memory_events
         )
-        target_writes = frozenset(init_writes) | frozenset(program_writes)
-        total_cp = len(init_writes) + len(program_writes)
+        prop_hb_star = rows_seq(prop, rows_of(hb_star))
+        ppo_fences = [a | b for a, b in zip(rows_of(ppo), fences)]
+        po_loc = rows_of(execution.po_loc)
+        co = rows_of(execution.co)
+        n = index.n
 
-        seen: Set[_MachineState] = set()
-        stack: List[_MachineState] = [initial]
+        # Inverse rows needed by the CPW and SR premises.
+        co_pred = [0] * n
+        for i, row in enumerate(co):
+            bit = 1 << i
+            for j in iter_bits(row):
+                co_pred[j] |= bit
+        phs_pred = [0] * n
+        for i, row in enumerate(prop_hb_star):
+            bit = 1 << i
+            for j in iter_bits(row):
+                phs_pred[j] |= bit
+
+        writes_mask = index.writes_mask
+        reads_mask = index.reads_mask
+        init_mask = index.init_mask & writes_mask
+        program_write_ids = list(iter_bits(writes_mask & ~init_mask))
+        read_ids = list(iter_bits(reads_mask))
+
+        rf_source: Dict[int, int] = {}
+        for write, read in execution.rf:
+            rf_source[index.ids[read]] = index.ids[write]
+
+        # CR premises that do not depend on the machine state:
+        # visibility of each read's (fixed) rf source, and the coRR
+        # conflict mask over other committed reads.
+        visible_source = {
+            read_id: self._visible_ids(
+                index, po_loc, co, rf_source[read_id], read_id
+            )
+            for read_id in read_ids
+            if read_id in rf_source
+        }
+        conflict = [0] * n
+        for read_id in read_ids:
+            source = rf_source.get(read_id)
+            if source is None:
+                continue
+            mask = 0
+            for other_id in read_ids:
+                if other_id == read_id:
+                    continue
+                other_source = rf_source.get(other_id)
+                if other_source is None:
+                    continue
+                if po_loc[other_id] >> read_id & 1 and co[source] >> other_source & 1:
+                    mask |= 1 << other_id
+                elif po_loc[read_id] >> other_id & 1 and co[other_source] >> source & 1:
+                    mask |= 1 << other_id
+            conflict[read_id] = mask
+
+        init_ids = tuple(iter_bits(init_mask))
+        initial = (init_mask, init_ids, 0, 0)
+        final_cw = writes_mask
+        final_cpw_len = writes_mask.bit_count()
+
+        seen: Set[Tuple[int, Tuple[int, ...], int, int]] = set()
+        stack: List[Tuple[int, Tuple[int, ...], int, int]] = [initial]
 
         while stack:
             state = stack.pop()
             if state in seen:
                 continue
             seen.add(state)
-
+            cw, cpw, sr, cr = state
             if (
-                state.committed_writes == target_writes
-                and len(state.coherence_point) == total_cp
-                and state.satisfied_reads == frozenset(reads)
-                and state.committed_reads == frozenset(reads)
+                cw == final_cw
+                and len(cpw) == final_cpw_len
+                and sr == reads_mask
+                and cr == reads_mask
             ):
                 return True
-
-            cw = state.committed_writes
-            cpw = state.coherence_point
-            cpw_set = set(cpw)
-            sr = state.satisfied_reads
-            cr = state.committed_reads
+            cpw_mask = 0
+            for w in cpw:
+                cpw_mask |= 1 << w
 
             # COMMIT WRITE
-            for write in program_writes:
-                if write in cw:
+            for w in program_write_ids:
+                if cw >> w & 1:
                     continue
-                if any((write, other) in po_loc for other in cw):
+                if po_loc[w] & cw:
                     continue  # CW: SC PER LOCATION / coWW
-                if any((write, other) in prop for other in cw):
-                    continue  # CW: PROPAGATION
-                if any((write, read) in fences for read in sr):
+                if prop[w] & (cw | sr):
+                    continue  # CW: PROPAGATION (vs committed and satisfied)
+                if fences[w] & sr:
                     continue  # CW: fences ∩ WR
-                if any((write, read) in prop for read in sr):
-                    continue  # CW: PROPAGATION vs satisfied reads (strong fences)
-                stack.append(
-                    _MachineState(cw | {write}, cpw, sr, cr)
-                )
+                stack.append((cw | 1 << w, cpw, sr, cr))
 
             # WRITE REACHES COHERENCE POINT
-            for write in program_writes:
-                if write in cpw_set or write not in cw:
+            for w in program_write_ids:
+                if cpw_mask >> w & 1 or not cw >> w & 1:
                     continue
-                if any((write, other) in po_loc for other in cpw_set):
+                if po_loc[w] & cpw_mask:
                     continue  # CPW: po-loc and cpw in accord
-                if any((write, other) in prop for other in cpw_set):
+                if prop[w] & cpw_mask:
                     continue  # CPW: PROPAGATION
-                # Keep the coherence-point order compatible with the given co:
-                # all co-predecessors must have reached their point already.
-                if any(
-                    (other, write) in co and other not in cpw_set
-                    for other in writes
-                    if other.location == write.location and other != write
-                ):
-                    continue
-                stack.append(
-                    _MachineState(cw, cpw + (write,), sr, cr)
-                )
+                if co_pred[w] & ~cpw_mask:
+                    continue  # CPW: all co-predecessors at their point
+                stack.append((cw, cpw + (w,), sr, cr))
 
             # SATISFY READ
-            for read in reads:
-                if read in sr:
+            for r in read_ids:
+                if sr >> r & 1:
                     continue
-                source = rf_source.get(read)
+                source = rf_source.get(r)
                 if source is None:
                     continue
-                local = (source, read) in po_loc
-                if not local and source not in cw:
+                local = po_loc[source] >> r & 1
+                if not local and not cw >> source & 1:
                     continue  # SR: write is either local or committed
-                if any((read, other) in ppo_fences for other in sr):
+                if ppo_fences[r] & sr:
                     continue  # SR: PPO / ii0 ∩ RR
-                if any(
-                    (source, other) in co and (other, read) in prop_hb_star
-                    for other in writes
-                ):
+                if co[source] & phs_pred[r]:
                     continue  # SR: OBSERVATION
-                if any((read, other) in prop for other in sr) or any(
-                    (read, other) in prop for other in cw
-                ):
-                    continue  # SR: PROPAGATION (strong cumulativity of full fences)
-                stack.append(
-                    _MachineState(cw, cpw, sr | {read}, cr)
-                )
+                if prop[r] & (sr | cw):
+                    continue  # SR: PROPAGATION (strong cumulativity)
+                stack.append((cw, cpw, sr | 1 << r, cr))
 
             # COMMIT READ
-            for read in reads:
-                if read in cr or read not in sr:
+            for r in read_ids:
+                if cr >> r & 1 or not sr >> r & 1:
                     continue
-                source = rf_source.get(read)
-                if source is None or not visible(source, read):
+                if not visible_source.get(r, False):
                     continue  # CR: SC PER LOCATION / coWR, coRW, coRR
-                if any((read, other) in ppo_fences for other in cw):
-                    continue  # CR: PPO / cc0 ∩ RW
-                if any((read, other) in ppo_fences for other in sr):
-                    continue  # CR: PPO / (ci0 ∪ cc0) ∩ RR
-                # coRR strengthening: same-location po-related reads must not
-                # observe writes in an order contradicting the coherence order.
-                conflict = False
-                for other in cr:
-                    other_source = rf_source.get(other)
-                    if other_source is None:
-                        continue
-                    if (other, read) in po_loc and (source, other_source) in co:
-                        conflict = True
-                        break
-                    if (read, other) in po_loc and (other_source, source) in co:
-                        conflict = True
-                        break
-                if conflict:
-                    continue
-                stack.append(
-                    _MachineState(cw, cpw, sr, cr | {read})
-                )
+                if ppo_fences[r] & (cw | sr):
+                    continue  # CR: PPO / cc0 ∩ RW and (ci0 ∪ cc0) ∩ RR
+                if conflict[r] & cr:
+                    continue  # coRR strengthening
+                stack.append((cw, cpw, sr, cr | 1 << r))
 
         return False
 
     # -- helpers --------------------------------------------------------------------
 
     @staticmethod
-    def _visible(execution: Execution, write, read) -> bool:
+    def _visible_ids(
+        index: EventIndex,
+        po_loc: List[int],
+        co: List[int],
+        write: int,
+        read: int,
+    ) -> bool:
         """The visibility condition of the COMMIT READ rule (Sec. 7.1.2)."""
-        if write.location != read.location:
+        location = index.events[read].location
+        if index.events[write].location != location:
             return False
-        po_loc = execution.po_loc
-        co = execution.co
-        same_location_writes = [
-            w for w in execution.writes if w.location == read.location
-        ]
+        same_location_writes = (
+            index.location_masks.get(location, 0) & index.writes_mask
+        )
 
         # wb: the last write to the location po-loc-before the read.
-        before = [w for w in same_location_writes if (w, read) in po_loc]
+        before = [
+            w for w in iter_bits(same_location_writes) if po_loc[w] >> read & 1
+        ]
         wb = None
         for candidate in before:
-            if all(other is candidate or (other, candidate) in po_loc for other in before):
+            if all(
+                other == candidate or po_loc[other] >> candidate & 1
+                for other in before
+            ):
                 wb = candidate
         # wa: the first write to the location po-loc-after the read.
-        after = [w for w in same_location_writes if (read, w) in po_loc]
+        after = [
+            w for w in iter_bits(same_location_writes) if po_loc[read] >> w & 1
+        ]
         wa = None
         for candidate in after:
-            if all(other is candidate or (candidate, other) in po_loc for other in after):
+            if all(
+                other == candidate or po_loc[candidate] >> other & 1
+                for other in after
+            ):
                 wa = candidate
 
-        if wb is not None and write != wb and (write, wb) in co:
+        if wb is not None and write != wb and co[write] >> wb & 1:
             return False  # write is co-before the last local write before the read
         if wa is not None:
-            if write == wa or (wa, write) in co:
-                return False  # write is equal to or co-after the first local write after
+            if write == wa or co[wa] >> write & 1:
+                return False  # write equal to or co-after the first local write after
         return True
 
 
@@ -269,7 +279,12 @@ class OperationalSimulator:
     This is the "operational" engine of the Tab. IX comparison: it
     enumerates candidate executions exactly like herd, but decides each
     one by searching for an accepting machine interleaving instead of
-    checking the axioms.
+    checking the axioms.  Unlike the axiomatic engines it does *not*
+    ride the pruning enumerator: the tool it stands in for has no
+    axiomatic uniproc check to prune with — every candidate's
+    interleavings are explored until the machine blocks (Thm. 7.1
+    guarantees the blocked searches are exactly the candidates the
+    axioms reject).
     """
 
     def __init__(self, architecture: Optional[Architecture] = None):

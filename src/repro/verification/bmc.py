@@ -20,6 +20,18 @@ compared in Tab. X/XI:
 ``verify_litmus`` wraps a litmus test as a reachability query (is the
 final condition's outcome reachable?), which is how the paper produced
 the per-litmus-test timings of Tab. X/XI.
+
+The axiomatic encodings (``"axiomatic"``, ``"multi-event"``) enumerate
+through the pruning engine (:mod:`repro.herd.engine`): SC-PER-LOCATION-
+violating assignments are cut as whole subtrees, candidates whose
+outcome cannot witness the query are never decided, and the search
+stops at the first counterexample — the solver-side pruning that makes
+the axiomatic encoding fast in the paper's Tab. X.  The
+``"operational"`` instrumentation backend deliberately keeps the full
+exploration (every candidate of the naive cross product is decided by
+the machine search): the tool it stands in for has no axiomatic query
+planning.  ``candidates_explored`` and ``allowed_executions`` count the
+work each backend actually performed.
 """
 
 from __future__ import annotations
@@ -31,7 +43,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.architectures import get_architecture
 from repro.core.model import Architecture, Model
-from repro.herd.enumerate import Candidate, candidate_executions, candidates_of_combination
+from repro.herd.engine import ComboPlan, plans
+from repro.herd.enumerate import (
+    Candidate,
+    candidate_executions,
+    candidates_of_combination,
+    combination_context,
+)
 from repro.litmus.ast import LitmusTest
 from repro.multi_event import MultiEventModel
 from repro.operational import IntermediateMachine
@@ -86,12 +104,30 @@ class BoundedModelChecker:
         self.architecture = architecture
         if backend == "axiomatic":
             self._decider = Model(architecture)
-            self._allows = self._decider.allows
+            # The pruning engine only emits uniproc-consistent candidates
+            # (for this architecture's variant), so the axiom check skips
+            # SC PER LOCATION.
+            self._prune_variant = (
+                architecture.sc_per_location_variant
+                if architecture.sc_per_location_variant in ("standard", "llh")
+                else "standard"
+            )
+            self._allows = lambda execution: self._decider.check(
+                execution, stop_at_first=True, assume_sc_per_location=True
+            ).allowed
         elif backend == "multi-event":
             self._decider = MultiEventModel(architecture)
-            self._allows = self._decider.allows
+            # The lifted SC PER LOCATION check is the standard variant,
+            # so prune with it and skip the (then provably passing) check.
+            self._prune_variant = "standard"
+            self._allows = lambda execution: self._decider.check(
+                execution, stop_at_first=True, assume_sc_per_location=True
+            ).allowed
         else:
             self._decider = IntermediateMachine(architecture)
+            # The machine's coWW/coWR/coRW/coRR premises block exactly the
+            # standard uniproc violations (Thm. 7.1).
+            self._prune_variant = "standard"
             self._allows = self._decider.accepts
 
     @property
@@ -119,19 +155,39 @@ class BoundedModelChecker:
                 for outcome in path.assertions
                 if not outcome.holds
             ]
-            executions = candidates_of_combination(
+            if self.backend == "operational":
+                # Full instrumentation-style exploration: decide everything.
+                for candidate in candidates_of_combination(
+                    [path.execution for path in combination],
+                    program.shared_variables(),
+                    program.shared,
+                ):
+                    candidates_explored += 1
+                    if not self._allows(candidate.execution):
+                        continue
+                    allowed += 1
+                    if failing and counterexample is None:
+                        counterexample = candidate
+                        violated = failing[0]
+                continue
+            context = combination_context(
                 [path.execution for path in combination],
                 program.shared_variables(),
                 program.shared,
             )
-            for candidate in executions:
+            plan = ComboPlan(context, variant=self._prune_variant)
+            for leaf in plan.leaves(with_outcomes=False):
                 candidates_explored += 1
+                candidate = leaf.candidate()
                 if not self._allows(candidate.execution):
                     continue
                 allowed += 1
                 if failing and counterexample is None:
                     counterexample = candidate
                     violated = failing[0]
+                    break
+            if counterexample is not None:
+                break  # reachability proven; the query is decided
         elapsed = time.perf_counter() - start
         return VerificationResult(
             name=program.name,
@@ -158,21 +214,59 @@ class BoundedModelChecker:
         candidates_explored = 0
         allowed = 0
         counterexample: Optional[Candidate] = None
-        for candidate in candidate_executions(test):
-            candidates_explored += 1
-            if not self._allows(candidate.execution):
-                continue
-            allowed += 1
-            outcome = dict(candidate.outcome(test))
-            matches = all(
-                outcome.get(
-                    f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+        if self.backend == "operational":
+            # Full instrumentation-style exploration: decide everything.
+            for candidate in candidate_executions(test):
+                candidates_explored += 1
+                if not self._allows(candidate.execution):
+                    continue
+                allowed += 1
+                outcome = dict(candidate.outcome(test))
+                matches = all(
+                    outcome.get(
+                        f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+                    )
+                    == atom.value
+                    for atom in test.condition.atoms
                 )
-                == atom.value
-                for atom in test.condition.atoms
+                if matches and counterexample is None:
+                    counterexample = candidate
+            return self._litmus_result(
+                test, counterexample, candidates_explored, allowed, start
             )
-            if matches and counterexample is None:
+        for plan in plans(test, self._prune_variant):
+            for leaf in plan.leaves():
+                candidates_explored += 1
+                observed = dict(leaf.outcome)
+                matches = all(
+                    observed.get(
+                        f"{atom.thread}:{atom.name}" if atom.kind == "reg" else atom.name
+                    )
+                    == atom.value
+                    for atom in test.condition.atoms
+                )
+                if not matches:
+                    continue  # cannot witness the query; never decided
+                candidate = leaf.candidate()
+                if not self._allows(candidate.execution):
+                    continue
+                allowed += 1
                 counterexample = candidate
+                break
+            if counterexample is not None:
+                break
+        return self._litmus_result(
+            test, counterexample, candidates_explored, allowed, start
+        )
+
+    def _litmus_result(
+        self,
+        test: LitmusTest,
+        counterexample: Optional[Candidate],
+        candidates_explored: int,
+        allowed: int,
+        start: float,
+    ) -> VerificationResult:
         elapsed = time.perf_counter() - start
         return VerificationResult(
             name=test.name,
