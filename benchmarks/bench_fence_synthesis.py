@@ -9,6 +9,12 @@ tests/second and asserts the qualitative shape:
 * the memo cache makes a second pass over the same family cheaper
   (fewer validation runs) and never changes the outcome;
 * repaired costs differentiate (the family never ends up all-sync).
+
+The campaign rides the shared campaign runtime: on a multi-core
+machine the cold pass shards over ``processes="auto"``; on a
+single-core box that degrades to the serial fallback, which shares a
+per-test simulation-context cache across both passes (the warm pass
+then revalidates known splices without re-interning).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import run_once
+from repro.campaign import ContextCache
 from repro.diy.families import extended_family, two_thread_family
 from repro.fences.campaign import repair_family
 
@@ -24,12 +31,17 @@ def _run_campaign():
     tests = two_thread_family("power", limit=48) + extended_family("power", limit=12)
 
     cache: dict = {}
+    contexts = ContextCache()
     start = time.perf_counter()
-    cold = repair_family(tests, "power", cache=cache)
+    cold = repair_family(
+        tests, "power", cache=cache, processes="auto", context_cache=contexts
+    )
     cold_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    warm = repair_family(tests, "power", cache=cache)
+    warm = repair_family(
+        tests, "power", cache=cache, processes="auto", context_cache=contexts
+    )
     warm_seconds = time.perf_counter() - start
 
     mechanisms = [m for report in cold.reports for m in report.mechanisms]

@@ -6,7 +6,10 @@ ARM machines, then compares the observations with the model.  This
 example replays the methodology at a small scale:
 
 1. generate a family of tests from critical cycles (the diy approach);
-2. run them on the simulated Power and ARM machines;
+2. run them on the simulated Power and ARM machines — sharded over one
+   worker process per core by the shared campaign runtime
+   (``processes="auto"``; on a single-core machine this degrades to the
+   serial path, with identical results either way);
 3. report the Tab. V-style summary ("invalid" = observed but forbidden,
    "unseen" = allowed but never observed) and the Tab. VIII-style
    classification of the ARM anomalies by violated axiom.
@@ -39,7 +42,9 @@ ANOMALY_TESTS = (
 def power_campaign() -> None:
     print("== Power campaign (Tab. V, left column)")
     tests = standard_family("power", max_threads=2, limit=80)
-    report = run_campaign(tests, default_power_chips(), "power", iterations=200_000)
+    report = run_campaign(
+        tests, default_power_chips(), "power", iterations=200_000, processes="auto"
+    )
     print("  " + report.describe())
     unseen = [result.test.name for result in report.unseen_tests][:8]
     print(f"  examples of unseen (allowed but not implemented): {', '.join(unseen)}")
@@ -53,7 +58,9 @@ def arm_campaign() -> None:
     chips = default_arm_chips()
 
     for model_name in ("power-arm", "arm", "arm-llh"):
-        report = run_campaign(tests, chips, model_name, iterations=2_000_000)
+        report = run_campaign(
+            tests, chips, model_name, iterations=2_000_000, processes="auto"
+        )
         print("  " + report.describe())
         if model_name == "power-arm":
             print("    anomalous observations (Tab. VI flavour):")

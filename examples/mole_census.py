@@ -21,7 +21,9 @@ from repro.verification.examples import rcu_example
 
 def corpus_census() -> None:
     corpus = debian_corpus()
-    reports = analyse_corpus(corpus)
+    # Packages are independent: shard the censuses over one worker per
+    # core (serial fallback on a single-core machine, same reports).
+    reports = analyse_corpus(corpus, processes="auto")
     print(f"== corpus census: {len(corpus)} packages")
     total_patterns: Counter = Counter()
     total_axioms: Counter = Counter()

@@ -1,0 +1,40 @@
+"""Shared campaign runtime: process sharding plus per-test context caching.
+
+The campaign drivers — :func:`repro.fences.campaign.repair_family`,
+:func:`repro.hardware.testing.run_campaign`,
+:func:`repro.mole.report.analyse_corpus`,
+:func:`repro.diy.families.sweep_family` and
+:func:`repro.verification.bmc.verify_batch` — all fan homogeneous
+batches of independent simulate/verdict jobs over this one runtime:
+
+* :mod:`repro.campaign.runner` — chunked, order-preserving work sharding
+  over a process pool, with a serial fallback whose results are
+  byte-identical by construction;
+* :mod:`repro.campaign.context` — per-test
+  :class:`~repro.campaign.context.SimulationContext` memoization of the
+  front half of the pipeline (thread paths, event interning, fixed
+  relations, plan skeletons), keyed by structural test identity;
+* :mod:`repro.campaign.jobs` — picklable job specs and the per-process
+  warm state (resolved models, simulators, context caches) the workers
+  re-hydrate them with.
+"""
+
+from repro.campaign.context import ContextCache, SimulationContext, test_fingerprint
+from repro.campaign.runner import (
+    DEFAULT_CHUNK_SIZE,
+    CampaignPool,
+    chunked,
+    run_sharded,
+    worker_count,
+)
+
+__all__ = [
+    "ContextCache",
+    "SimulationContext",
+    "test_fingerprint",
+    "CampaignPool",
+    "DEFAULT_CHUNK_SIZE",
+    "chunked",
+    "run_sharded",
+    "worker_count",
+]

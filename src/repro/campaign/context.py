@@ -1,0 +1,195 @@
+"""Per-test simulation contexts: memoizing the front half of the pipeline.
+
+A verdict or simulation query splits into two halves:
+
+1. a **front half** that depends only on the litmus test — enumerate the
+   per-thread control/data paths, intern each combination's event
+   universe into an :class:`~repro.core.bitrel.EventIndex`, build the
+   fixed relations (po, addr/data/ctrl, fences) and the rf×co plan
+   skeleton (:class:`~repro.herd.engine.ComboPlan`);
+2. a **back half** — the pruned plan walk plus the model's axiom checks
+   — that depends on the model.
+
+The front half is roughly half the cost of a verdict query and is
+*model-independent*, so repeated queries against the same test — the
+fence escalation loop's re-validations, Sec. 8.2-style model
+comparisons, Tab. IX engine re-runs, a chip population simulating one
+test under several implementation models — redo it for nothing.  A
+:class:`SimulationContext` memoizes it per test; a :class:`ContextCache`
+keys contexts by *structural* test identity, so a test spliced by the
+fence-repair pipeline (new fences, new dependency instructions) never
+hits the original's entry: stale relations are unreachable by
+construction.
+
+Contexts build lazily at per-combination granularity: a verdict-only
+query against a register-only ``exists`` clause interns only the
+combinations that can witness the target (mirroring
+:func:`repro.herd.engine.target_plans`), and a later full run completes
+the remaining combinations on demand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.herd.engine import ComboPlan, combination_matches_target
+from repro.herd.enumerate import CombinationContext, _thread_paths, combination_context
+from repro.litmus.ast import LitmusTest
+
+Fingerprint = Tuple
+
+
+def test_fingerprint(test: LitmusTest) -> Fingerprint:
+    """Structural identity of a litmus test.
+
+    Two tests share a fingerprint exactly when they share architecture,
+    instruction streams, initial state and final condition — everything
+    the front half of the pipeline reads.  The name and doc string are
+    deliberately excluded (a repaired test often keeps its ancestor's
+    name) and any splice that changes an instruction — a fence, a false
+    dependency — changes the fingerprint.
+    """
+    condition = str(test.condition) if test.condition is not None else None
+    return (
+        test.arch,
+        tuple(
+            tuple(instruction.mnemonic() for instruction in thread)
+            for thread in test.threads
+        ),
+        tuple(
+            sorted(
+                (thread, register, str(value))
+                for (thread, register), value in test.init_registers.items()
+            )
+        ),
+        tuple(sorted(test.init_memory.items())),
+        condition,
+    )
+
+
+# Not a pytest test function, despite the name.
+test_fingerprint.__test__ = False  # type: ignore[attr-defined]
+
+
+class SimulationContext:
+    """The memoized front half of simulating one litmus test.
+
+    Thread paths, per-combination :class:`CombinationContext` objects
+    and per-variant :class:`ComboPlan` skeletons are built on first use
+    and reused by every subsequent query — under any model, since none
+    of them depend on one.  Plan walks themselves stay per-query (a
+    :meth:`ComboPlan.leaves` walk carries no state between calls), so a
+    cached context may serve any number of sequential queries.
+    """
+
+    __slots__ = ("test", "_paths", "_combinations", "_locations", "_contexts", "_plans")
+
+    def __init__(self, test: LitmusTest):
+        self.test = test
+        self._paths: Optional[List] = None
+        self._combinations: Optional[Tuple] = None
+        self._locations: Optional[set] = None
+        self._contexts: Dict[int, CombinationContext] = {}
+        self._plans: Dict[Tuple[str, int], ComboPlan] = {}
+
+    def combinations(self) -> Tuple:
+        """All choices of per-thread paths (enumerated once)."""
+        if self._combinations is None:
+            self._paths = _thread_paths(self.test)
+            self._combinations = tuple(itertools.product(*self._paths))
+            self._locations = set(self.test.locations())
+        return self._combinations
+
+    def context(self, index: int) -> CombinationContext:
+        """The interned context of combination *index* (built once)."""
+        context = self._contexts.get(index)
+        if context is None:
+            combination = self.combinations()[index]
+            context = combination_context(
+                combination, self._locations, self.test.init_memory
+            )
+            self._contexts[index] = context
+        return context
+
+    def plan(self, variant: str, index: int) -> ComboPlan:
+        """The pruning plan of combination *index* for one SC-PER-LOCATION
+        variant (built once per variant)."""
+        key = (variant, index)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = ComboPlan(self.context(index), self.test, variant)
+            self._plans[key] = plan
+        return plan
+
+    def plans(self, variant: str = "standard") -> Iterator[ComboPlan]:
+        """Every combination's plan — the cached analogue of
+        :func:`repro.herd.engine.plans`."""
+        for index in range(len(self.combinations())):
+            yield self.plan(variant, index)
+
+    def target_plans(self, variant: str = "standard") -> Iterator[ComboPlan]:
+        """Plans of the combinations that could witness the target — the
+        cached analogue of :func:`repro.herd.engine.target_plans`,
+        filtering with the same register-atom predicate."""
+        condition = self.test.condition
+        assert condition is not None, "target_plans needs a final condition"
+        for index, combination in enumerate(self.combinations()):
+            if not combination_matches_target(combination, condition):
+                continue
+            yield self.plan(variant, index)
+
+
+class ContextCache:
+    """An LRU cache of :class:`SimulationContext`, keyed structurally.
+
+    ``capacity`` bounds memory in long campaigns: the fence escalation
+    loop creates a fresh spliced test per candidate fence set, and each
+    spliced test gets (correctly) its own context; evicting the least
+    recently used entries keeps the working set to the tests actually
+    being re-queried.  ``hits``/``misses`` feed the benchmarks.
+    """
+
+    def __init__(self, capacity: Optional[int] = 256):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Fingerprint, SimulationContext]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, test: LitmusTest) -> SimulationContext:
+        """The context of *test*, building (and caching) it on a miss."""
+        key = test_fingerprint(test)
+        context = self._entries.get(key)
+        if context is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return context
+        self.misses += 1
+        context = SimulationContext(test)
+        self._entries[key] = context
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return context
+
+    def invalidate(self, test: LitmusTest) -> bool:
+        """Drop *test*'s entry; True when one was present."""
+        return self._entries.pop(test_fingerprint(test), None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,169 @@
+"""Process-sharded execution of homogeneous campaign jobs.
+
+Every campaign driver (fence repair, hardware testing, mole censuses,
+diy family sweeps, BMC batches) boils down to the same shape: a list of
+independent jobs, each producing one result, whose order must be
+preserved.  This module is the one fan-out layer they all share:
+
+* jobs are grouped into **chunks** so that scheduling and pickling
+  overhead amortizes over several jobs and per-worker warm state
+  (resolved models, simulators, per-test simulation contexts — see
+  :mod:`repro.campaign.jobs`) gets reused within and across chunks;
+* the worker callable must be a picklable module-level function taking
+  ``(chunk, payload)`` — a list of job specs plus one static payload
+  shared by every chunk — and returning one result per job (or
+  ``(results, extra)`` when a ``merge`` callback collects per-chunk
+  side state, e.g. the fence campaign's cycle-signature memo);
+* results come back in submission order, so sharded campaigns report
+  exactly what the serial path reports;
+* the **serial fallback** (``processes`` of ``None``/``0``/``1``, a
+  single-core machine under ``"auto"``, or a single job) runs the very
+  same worker over the very same chunks in-process, so its results are
+  byte-identical to the sharded path by construction.
+
+``CampaignPool`` keeps one pool alive across several batches: worker
+processes then retain their warm state (per-process simulators and
+context caches) between calls, which is what escalation-style loops
+want.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+#: Default number of jobs per shard; small enough to balance uneven job
+#: costs, large enough to amortize pickling and scheduling.
+DEFAULT_CHUNK_SIZE = 8
+
+Processes = Union[None, int, str]
+
+
+def worker_count(processes: Processes = None) -> int:
+    """Resolve a ``processes`` argument to an effective worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``"auto"`` means one worker
+    per CPU core (which on a single-core machine is again serial).
+    """
+    if processes in (None, 0, 1):
+        return 1
+    if processes == "auto":
+        return os.cpu_count() or 1
+    count = int(processes)  # type: ignore[arg-type]
+    if count < 0:
+        raise ValueError(f"negative worker count: {processes!r}")
+    return max(count, 1)
+
+
+def chunked(jobs: Sequence[Any], chunk_size: int) -> List[List[Any]]:
+    """Split *jobs* into order-preserving chunks of at most *chunk_size*."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [list(jobs[i : i + chunk_size]) for i in range(0, len(jobs), chunk_size)]
+
+
+def run_sharded(
+    worker: Callable[[List[Any], Any], Any],
+    jobs: Sequence[Any],
+    *,
+    payload: Any = None,
+    processes: Processes = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    merge: Optional[Callable[[Any], None]] = None,
+    pool: Optional["CampaignPool"] = None,
+) -> List[Any]:
+    """Run *worker* over *jobs* in chunks, results in submission order.
+
+    ``worker(chunk, payload)`` must return a list with one result per
+    job of the chunk — or, when ``merge`` is given, a ``(results,
+    extra)`` pair; ``merge(extra)`` is then invoked in submission order
+    as chunks complete (the fence campaign merges worker-local memo
+    caches this way).  ``pool`` reuses an open :class:`CampaignPool`
+    instead of spinning a fresh one.
+    """
+    jobs = list(jobs)
+    shards = [(chunk, payload) for chunk in chunked(jobs, chunk_size)]
+    if pool is not None:
+        outcomes = pool._starmap(worker, shards)
+    else:
+        workers = worker_count(processes)
+        # A single shard has no parallelism to win: run it in-process
+        # rather than paying for a one-worker pool.
+        if workers <= 1 or len(shards) <= 1:
+            outcomes = [worker(chunk, chunk_payload) for chunk, chunk_payload in shards]
+        else:
+            with multiprocessing.Pool(min(workers, len(shards))) as mp_pool:
+                outcomes = mp_pool.starmap(worker, shards, chunksize=1)
+
+    results: List[Any] = []
+    for outcome in outcomes:
+        if merge is not None:
+            chunk_results, extra = outcome
+            merge(extra)
+        else:
+            chunk_results = outcome
+        results.extend(chunk_results)
+    return results
+
+
+class CampaignPool:
+    """A reusable worker pool for multi-batch campaigns.
+
+    The pool's processes survive between :meth:`run` calls, so the
+    per-process warm state built by :mod:`repro.campaign.jobs` (resolved
+    models, simulators, per-test simulation contexts) carries over from
+    one batch to the next — exactly what escalation loops and repeated
+    model comparisons want.  With an effective worker count of one the
+    pool degrades to the serial fallback and spawns nothing.
+
+    Use as a context manager::
+
+        with CampaignPool("auto") as pool:
+            first = pool.run(worker, jobs_a, payload=...)
+            second = pool.run(worker, jobs_b, payload=...)
+    """
+
+    def __init__(self, processes: Processes = "auto"):
+        self.workers = worker_count(processes)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    def __enter__(self) -> "CampaignPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _starmap(
+        self, worker: Callable, shards: List[Tuple[List[Any], Any]]
+    ) -> List[Any]:
+        if self.workers <= 1 or len(shards) <= 1:
+            return [worker(chunk, payload) for chunk, payload in shards]
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.workers)
+        return self._pool.starmap(worker, shards, chunksize=1)
+
+    def run(
+        self,
+        worker: Callable[[List[Any], Any], Any],
+        jobs: Sequence[Any],
+        *,
+        payload: Any = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        merge: Optional[Callable[[Any], None]] = None,
+    ) -> List[Any]:
+        """:func:`run_sharded` on this pool's (persistent) workers."""
+        return run_sharded(
+            worker,
+            jobs,
+            payload=payload,
+            chunk_size=chunk_size,
+            merge=merge,
+            pool=self,
+        )

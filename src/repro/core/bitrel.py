@@ -229,6 +229,21 @@ class EventIndex:
     def __repr__(self) -> str:
         return f"EventIndex({self.n} events)"
 
+    def __getstate__(self) -> dict:
+        # The mask memo is keyed by frozensets of events from the parent
+        # process; it is a pure cache, so never ship it across a process
+        # boundary — workers rebuild their own as they go.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_mask_cache"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._mask_cache = {}
+
     def id_of(self, event) -> int:
         return self.ids[event]
 

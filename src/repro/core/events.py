@@ -145,6 +145,20 @@ class Event:
         # matches the dataclass-generated hash over the compare fields.
         object.__setattr__(self, "_hash", hash((self.thread, self.poi, self.eid)))
 
+    def __getstate__(self) -> dict:
+        # The precomputed hash involves a str and str hashing is salted
+        # per process: a hash pickled by one process is wrong in another.
+        # Drop it here and recompute on unpickle, so events (inside
+        # relations, executions, counterexamples) can cross the campaign
+        # runtime's process boundary safely.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        object.__setattr__(self, "_hash", hash((self.thread, self.poi, self.eid)))
+
     # -- convenience predicates -------------------------------------------------
 
     def is_memory_access(self) -> bool:

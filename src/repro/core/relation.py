@@ -86,6 +86,17 @@ class Relation:
 
     # -- constructors ------------------------------------------------------------
 
+    def __getstate__(self) -> tuple:
+        # The memo cache (closures, witness cycles) is recomputable and
+        # can dwarf the relation itself: drop it when a relation crosses
+        # a process boundary (e.g. inside a BMC counterexample shipped
+        # back from a campaign worker).
+        return (self._pairs, self._index, self._rows)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._pairs, self._index, self._rows = state
+        self._cache = {}
+
     @classmethod
     def empty(cls) -> "Relation":
         return _EMPTY

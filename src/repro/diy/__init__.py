@@ -18,7 +18,13 @@ executed, i.e. whether the corresponding final state is observable.
 from repro.diy.cycles import Edge, Cycle, po, fenced, dep, rfe, fre, coe, rfi, fri, coi
 from repro.diy.generator import generate_test
 from repro.diy.naming import cycle_name
-from repro.diy.families import standard_family, two_thread_family, extended_family
+from repro.diy.families import (
+    FamilySweep,
+    extended_family,
+    standard_family,
+    sweep_family,
+    two_thread_family,
+)
 
 __all__ = [
     "Edge",
@@ -37,4 +43,6 @@ __all__ = [
     "standard_family",
     "two_thread_family",
     "extended_family",
+    "FamilySweep",
+    "sweep_family",
 ]

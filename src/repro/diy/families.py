@@ -15,6 +15,7 @@ communication edges, then generating one litmus test per cycle.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.diy.cycles import Cycle, Edge, coe, dep, fenced, fre, po, rfe
@@ -146,6 +147,90 @@ def extended_family(arch: str = "power", limit: Optional[int] = None) -> List[Li
                 if limit is not None and len(tests) >= limit:
                     return tests
     return tests
+
+
+@dataclass
+class FamilySweep:
+    """Verdicts of one family under one model (a column of Tab. V/IX)."""
+
+    model_name: str
+    #: per test, in family order: ``(test name, "Allow" | "Forbid")``.
+    verdicts: Tuple[Tuple[str, str], ...]
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def num_allowed(self) -> int:
+        return sum(1 for _, verdict in self.verdicts if verdict == "Allow")
+
+    @property
+    def num_forbidden(self) -> int:
+        return self.num_tests - self.num_allowed
+
+    def verdict_of(self, name: str) -> str:
+        for test_name, verdict in self.verdicts:
+            if test_name == name:
+                return verdict
+        raise KeyError(f"no test named {name!r} in this sweep")
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_tests} tests under {self.model_name}: "
+            f"{self.num_allowed} Allow, {self.num_forbidden} Forbid"
+        )
+
+
+def sweep_family(
+    tests: Sequence[LitmusTest],
+    model,
+    processes=None,
+    engine: str = "auto",
+    context_cache=None,
+    chunk_size: int = 8,
+    pool=None,
+) -> FamilySweep:
+    """Allow/Forbid verdicts of every test of a family under one model.
+
+    The batch driver behind the large-scale diy experiments: verdicts
+    of distinct tests are independent, so ``processes`` (an int, or
+    ``"auto"`` for one worker per core) shards them over the campaign
+    runtime — the model must then be given by *name* so workers can
+    re-hydrate it.  Serially, the model is resolved once for the whole
+    sweep and ``context_cache`` lets repeated sweeps of the same family
+    (e.g. under several models) skip the front half of the pipeline.
+    """
+    from repro.campaign import runner as campaign_runner
+
+    tests = list(tests)
+    sharded = (
+        pool is not None or campaign_runner.worker_count(processes) > 1
+    ) and isinstance(model, str)
+    if sharded and len(tests) > 1:
+        from repro.campaign.jobs import VerdictJob, verdict_chunk
+        from repro.herd.simulator import resolve_model
+
+        verdicts = campaign_runner.run_sharded(
+            verdict_chunk,
+            [VerdictJob(test, model, engine) for test in tests],
+            processes=processes,
+            chunk_size=chunk_size,
+            pool=pool,
+        )
+        # Canonical model name, exactly as the serial path reports it
+        # (model names are matched case-insensitively).
+        model_name = getattr(resolve_model(model), "name", str(model))
+        return FamilySweep(model_name=model_name, verdicts=tuple(verdicts))
+
+    from repro.herd.simulator import Simulator
+
+    simulator = Simulator(model, engine=engine)
+    verdicts = []
+    for test in tests:
+        context = context_cache.get(test) if context_cache is not None else None
+        verdicts.append((test.name, simulator.verdict(test, context=context)))
+    return FamilySweep(model_name=simulator.model_name, verdicts=tuple(verdicts))
 
 
 def _generate(

@@ -10,9 +10,13 @@ subsequent repairs with them — each seeded repair still runs one
 confirming validation, so a stale cache entry costs a little time, never
 correctness.
 
-Repairs of distinct tests are independent, so the driver can fan out
-over a :mod:`multiprocessing` pool; worker processes return their local
-cache entries, which the parent merges for the next batch.
+Repairs of distinct tests are independent, so the driver fans out over
+the shared campaign runtime (:mod:`repro.campaign`): chunks of tests
+are sharded over a process pool, worker processes return their local
+cache entries, and the parent merges them in submission order.  Workers
+keep per-process warm state — a simulator resolved once per model name
+and a per-test simulation-context cache — across every chunk they
+serve.
 """
 
 from __future__ import annotations
@@ -20,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import runner as campaign_runner
 from repro.fences.aeg import aeg_from_litmus
 from repro.fences.cycles import critical_cycles
 from repro.fences.validate import RepairReport, repair_test
-from repro.herd.simulator import ModelLike
+from repro.herd.simulator import ModelLike, resolve_model
 from repro.litmus.ast import LitmusTest
 
 #: model name -> cycle-signature-set -> mechanism seed
@@ -83,16 +88,19 @@ def repair_one(
     test: LitmusTest,
     model: ModelLike,
     cache: Optional[CycleCache] = None,
+    context_cache=None,
 ) -> RepairReport:
     """Repair one test, consulting and updating the memo cache.
 
     The static analysis (AEG + critical cycles) and the memo lookup are
     lazy: tests the model already forbids never pay for either, and
     tests that need repair run the analysis exactly once (shared between
-    the memo key and :func:`repair_test`).
+    the memo key and :func:`repair_test`).  ``context_cache`` is passed
+    through to :func:`repair_test` so validation verdicts reuse
+    memoized simulation contexts.
     """
     if cache is None:
-        return repair_test(test, model)
+        return repair_test(test, model, context_cache=context_cache)
 
     model_name = model if isinstance(model, str) else getattr(model, "name", "")
     state: dict = {}
@@ -116,56 +124,65 @@ def repair_one(
         model,
         initial_mechanisms=lambda: cache.get(signature()),
         analysis=analysis,
+        context_cache=context_cache,
     )
     if report.success and report.needed_repair and report.mechanism_seed:
         cache[signature()] = report.mechanism_seed
     return report
 
 
-def _repair_chunk(
-    payload: Tuple[List[LitmusTest], str, CycleCache],
-) -> Tuple[List[RepairReport], CycleCache]:
-    """Worker: repair a chunk of tests with a process-local cache."""
-    tests, model_name, cache = payload
-    local: CycleCache = dict(cache)
-    reports = [repair_one(test, model_name, local) for test in tests]
-    return reports, local
-
-
 def repair_family(
     tests: Sequence[LitmusTest],
     model: ModelLike,
-    processes: Optional[int] = None,
+    processes=None,
     cache: Optional[CycleCache] = None,
     chunk_size: int = 8,
+    context_cache=None,
+    pool=None,
 ) -> CampaignResult:
     """Repair every test of a family, optionally in parallel.
 
-    ``processes`` > 1 fans the family out over a multiprocessing pool
-    (the model must then be given by *name*, so the workers can rebuild
-    it); otherwise the repairs run serially in-process.  The memo
-    ``cache`` may be shared across calls to amortise work over several
-    families.
+    ``processes`` (an int, or ``"auto"`` for one worker per core) fans
+    the family out over the shared campaign runner — the model must
+    then be given by *name*, so workers can re-hydrate it; otherwise
+    the repairs run serially in-process with the model resolved once
+    for the whole campaign.  The memo ``cache`` may be shared across
+    calls to amortise work over several families; worker-local cache
+    entries are merged back in submission order, exactly as the serial
+    loop would have accumulated them chunk by chunk.
+
+    ``context_cache`` (serial path) reuses per-test simulation contexts
+    across validation verdicts; sharded workers always keep their own
+    per-process context caches, which persist across chunks — and
+    across whole batches when an open :class:`repro.campaign.CampaignPool`
+    is passed as ``pool``.
     """
+    tests = list(tests)
     if cache is None:
         cache = {}
     model_name = model if isinstance(model, str) else getattr(model, "name", str(model))
 
-    if processes is not None and processes > 1 and isinstance(model, str):
-        import multiprocessing
+    sharded = (
+        pool is not None or campaign_runner.worker_count(processes) > 1
+    ) and isinstance(model, str)
+    if sharded:
+        from repro.campaign.jobs import repair_chunk
 
-        chunks = [
-            list(tests[index : index + chunk_size])
-            for index in range(0, len(tests), chunk_size)
-        ]
-        payloads = [(chunk, model, dict(cache)) for chunk in chunks]
-        reports: List[RepairReport] = []
-        with multiprocessing.Pool(processes) as pool:
-            for chunk_reports, local_cache in pool.imap(_repair_chunk, payloads):
-                reports.extend(chunk_reports)
-                cache.update(local_cache)
+        reports: List[RepairReport] = campaign_runner.run_sharded(
+            repair_chunk,
+            tests,
+            payload=(model, dict(cache)),
+            processes=processes,
+            chunk_size=chunk_size,
+            merge=cache.update,
+            pool=pool,
+        )
     else:
-        reports = [repair_one(test, model, cache) for test in tests]
+        resolved = resolve_model(model)
+        reports = [
+            repair_one(test, resolved, cache, context_cache=context_cache)
+            for test in tests
+        ]
 
     cache_hits = sum(1 for report in reports if report.from_cache)
     return CampaignResult(

@@ -74,19 +74,31 @@ class RepairReport:
 
 
 def validate_repair(
-    original: LitmusTest, repaired: LitmusTest, model: ModelLike
+    original: LitmusTest,
+    repaired: LitmusTest,
+    model: ModelLike,
+    context_cache=None,
 ) -> Tuple[str, str]:
     """Verdicts (before, after) of the target outcome under the model.
 
     Uses the simulator's verdict fast path (pruning enumeration, early
     exit on the target outcome): the escalation loop only ever needs
-    Allow/Forbid, never the full outcome summary.
+    Allow/Forbid, never the full outcome summary.  ``context_cache``
+    optionally supplies a :class:`repro.campaign.ContextCache`, so
+    re-validations of tests already seen skip the front half of the
+    pipeline.
     """
     simulator = Simulator(model)
     return (
-        simulator.verdict(original),
-        simulator.verdict(repaired),
+        _verdict(simulator, original, context_cache),
+        _verdict(simulator, repaired, context_cache),
     )
+
+
+def _verdict(simulator: Simulator, test: LitmusTest, context_cache) -> str:
+    if context_cache is None:
+        return simulator.verdict(test)
+    return simulator.verdict(test, context=context_cache.get(test))
 
 
 def _escalation_candidates(placements: Sequence[Placement]) -> List[Placement]:
@@ -99,6 +111,7 @@ def repair_test(
     max_validations: int = 64,
     initial_mechanisms=None,
     analysis=None,
+    context_cache=None,
 ) -> RepairReport:
     """Synthesize the cheapest validated fence placement for one test.
 
@@ -112,11 +125,19 @@ def repair_test(
     the static analysis (for the memo key) do not run it twice.  Both
     may be zero-argument callables, invoked only when the test actually
     needs repair — tests that are already Forbid pay nothing.
+
+    ``context_cache`` optionally supplies a
+    :class:`repro.campaign.ContextCache`: every validation verdict then
+    reuses memoized simulation contexts, which pays off whenever the
+    same test (or the same spliced candidate, e.g. on a warm campaign
+    re-run) is validated more than once.  Pass ``model`` as an already
+    resolved :class:`~repro.core.model.Model` when repairing in a loop —
+    the campaign drivers resolve it once and pass it down.
     """
     simulator = Simulator(model)
     model_name = simulator.model_name
 
-    before = simulator.verdict(test)
+    before = _verdict(simulator, test, context_cache)
     if before == "Forbid":
         return RepairReport(
             test_name=test.name,
@@ -160,7 +181,7 @@ def repair_test(
                 break
             min(deps, key=lambda p: (p.cost, p.thread, p.gap)).escalate()
             continue
-        after = simulator.verdict(repaired)
+        after = _verdict(simulator, repaired, context_cache)
         validations += 1
         if after == "Forbid":
             success = True

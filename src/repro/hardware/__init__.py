@@ -31,6 +31,7 @@ from repro.hardware.chips import (
 from repro.hardware.testing import (
     ObservedTest,
     CampaignReport,
+    observe_test,
     run_campaign,
     classify_anomalies,
 )
@@ -44,5 +45,6 @@ __all__ = [
     "ObservedTest",
     "CampaignReport",
     "run_campaign",
+    "observe_test",
     "classify_anomalies",
 ]

@@ -149,18 +149,22 @@ class SimulatedChip:
         test: LitmusTest,
         iterations: int = 1_000_000,
         rng: Optional[random.Random] = None,
+        context=None,
     ) -> Dict[Tuple[Tuple[str, int], ...], int]:
         """Run a litmus test: outcome -> observation count.
 
         Outcomes allowed by the implementation model are observed with
         "common" frequencies; erratum outcomes appear with their (low)
         rates and may not show up at all in a given campaign, exactly as
-        on real silicon.
+        on real silicon.  ``context`` optionally supplies the test's
+        memoized :class:`repro.campaign.SimulationContext` — it is
+        model-independent, so one context serves the implementation
+        model and every erratum model alike.
         """
         rng = rng if rng is not None else random.Random(hash((self.name, test.name)) & 0xFFFF)
         counts: Dict[Tuple[Tuple[str, int], ...], int] = {}
 
-        base = Simulator(self.implementation).run(test)
+        base = Simulator(self.implementation).run(test, context=context)
         common = sorted(base.allowed_outcomes)
         if common:
             weights = [rng.random() + 0.1 for _ in common]
@@ -169,7 +173,7 @@ class SimulatedChip:
                 counts[outcome] = max(1, int(iterations * weight / total_weight))
 
         for erratum in self.errata:
-            extra = Simulator(erratum.model).run(test)
+            extra = Simulator(erratum.model).run(test, context=context)
             rare = sorted(extra.allowed_outcomes - base.allowed_outcomes)
             for outcome in rare:
                 expectation = iterations * erratum.rate

@@ -117,37 +117,158 @@ def _outcome_matches_condition(test: LitmusTest, outcome: Outcome) -> bool:
     )
 
 
+def observe_test(
+    simulator: Simulator,
+    test: LitmusTest,
+    chips: Sequence[SimulatedChip],
+    iterations: int,
+    seeds: Sequence[int],
+    context_cache=None,
+) -> ObservedTest:
+    """One test's campaign record: model summary plus chip observations.
+
+    ``seeds`` holds one RNG seed per chip, drawn by the campaign parent
+    so that sharded and serial campaigns observe identical outcomes.
+    The model run and every chip's implementation/erratum simulations
+    share the test's memoized context when a ``context_cache`` is given
+    (the context is model-independent).
+    """
+    context = context_cache.get(test) if context_cache is not None else None
+    model_result = simulator.run(test, context=context)
+    observed: Dict[str, Dict[Outcome, int]] = {}
+    target_observed = False
+    for chip, chip_seed in zip(chips, seeds):
+        chip_rng = random.Random(chip_seed)
+        counts = chip.observed_outcomes(
+            test, iterations=iterations, rng=chip_rng, context=context
+        )
+        observed[chip.name] = counts
+        if any(_outcome_matches_condition(test, outcome) for outcome in counts):
+            target_observed = True
+    return ObservedTest(
+        test=test,
+        model_verdict=model_result.verdict,
+        model_outcomes=model_result.allowed_outcomes,
+        observed_outcomes=observed,
+        target_observed=target_observed,
+    )
+
+
+def _chip_spec(chip: SimulatedChip):
+    """Everything comparable about a chip's behaviour-determining config.
+
+    Implementation models carry closures, so they are compared through
+    their (model, architecture) name/description surface — the default
+    populations give every distinct implementation a distinct name.
+    """
+
+    def model_spec(model) -> tuple:
+        architecture = getattr(model, "architecture", None)
+        return (
+            type(model).__name__,
+            getattr(model, "name", None),
+            getattr(architecture, "description", None),
+            getattr(architecture, "sc_per_location_variant", None),
+        )
+
+    return (
+        chip.name,
+        chip.family,
+        chip.description,
+        model_spec(chip.implementation),
+        tuple(
+            (e.name, e.rate, e.description, model_spec(e.model)) for e in chip.errata
+        ),
+    )
+
+
+def _chip_references(chips: Sequence[SimulatedChip]):
+    """Chip names workers can re-hydrate, or None if any chip is custom.
+
+    Chip implementations carry closures and cannot be pickled, so the
+    sharded path ships names and rebuilds via
+    :func:`repro.hardware.chips.chip_by_name` — but only for chips whose
+    whole comparable configuration (:func:`_chip_spec`) matches the
+    default registry entry.  Anything else — an unknown name, a swapped
+    implementation model, a tweaked erratum — forces the serial path,
+    which runs the caller's actual chip objects.
+    """
+    from repro.hardware.chips import chip_by_name
+
+    references = []
+    for chip in chips:
+        try:
+            rebuilt = chip_by_name(chip.name)
+        except KeyError:
+            return None
+        if _chip_spec(rebuilt) != _chip_spec(chip):
+            return None
+        references.append(chip.name)
+    return tuple(references)
+
+
 def run_campaign(
     tests: Iterable[LitmusTest],
     chips: Sequence[SimulatedChip],
     model,
     iterations: int = 1_000_000,
     seed: int = 2014,
+    processes=None,
+    context_cache=None,
+    chunk_size: int = 4,
 ) -> CampaignReport:
-    """Run a family of tests on a chip population and compare with a model."""
+    """Run a family of tests on a chip population and compare with a model.
+
+    ``processes`` (an int, or ``"auto"`` for one worker per core) shards
+    the per-test work over the campaign runtime; the model must then be
+    a *name* and the chips must come from the default populations, so
+    workers can re-hydrate both (custom chip objects fall back to the
+    serial path).  Chip RNG seeds are drawn up front by the parent in
+    the serial order, so sharded reports are identical to serial ones.
+
+    Every test is simulated several times per campaign — once under the
+    reference model, then once per chip implementation model plus its
+    errata — so the serial path keeps a per-test context cache of its
+    own when the caller does not supply one (workers always do, per
+    process).
+    """
+    from repro.campaign import ContextCache, runner as campaign_runner
+
+    tests = list(tests)
+    if context_cache is None:
+        context_cache = ContextCache()
     simulator = Simulator(model)
     report = CampaignReport(model_name=simulator.model_name)
     rng = random.Random(seed)
+    seeds = [tuple(rng.randint(0, 2**31) for _ in chips) for _ in tests]
 
-    for test in tests:
-        model_result = simulator.run(test)
-        observed: Dict[str, Dict[Outcome, int]] = {}
-        target_observed = False
-        for chip in chips:
-            chip_rng = random.Random(rng.randint(0, 2**31))
-            counts = chip.observed_outcomes(test, iterations=iterations, rng=chip_rng)
-            observed[chip.name] = counts
-            if any(_outcome_matches_condition(test, outcome) for outcome in counts):
-                target_observed = True
-        report.results.append(
-            ObservedTest(
-                test=test,
-                model_verdict=model_result.verdict,
-                model_outcomes=model_result.allowed_outcomes,
-                observed_outcomes=observed,
-                target_observed=target_observed,
+    chip_references = None
+    if (
+        campaign_runner.worker_count(processes) > 1
+        and isinstance(model, str)
+        and len(tests) > 1
+    ):
+        chip_references = _chip_references(chips)
+
+    if chip_references is not None:
+        from repro.campaign.jobs import HardwareJob, hardware_chunk
+
+        jobs = [
+            HardwareJob(test, model, chip_references, iterations, test_seeds)
+            for test, test_seeds in zip(tests, seeds)
+        ]
+        report.results.extend(
+            campaign_runner.run_sharded(
+                hardware_chunk, jobs, processes=processes, chunk_size=chunk_size
             )
         )
+    else:
+        for test, test_seeds in zip(tests, seeds):
+            report.results.append(
+                observe_test(
+                    simulator, test, chips, iterations, test_seeds, context_cache
+                )
+            )
     return report
 
 

@@ -348,6 +348,29 @@ def plans(
         yield ComboPlan(context, test, variant)
 
 
+def combination_matches_target(combination, condition) -> bool:
+    """Can this choice of per-thread paths witness the register atoms?
+
+    The final registers are fixed by the thread paths alone, so register
+    atoms filter whole combinations *before* the event universe is
+    interned or any relation built.  Shared between :func:`target_plans`
+    and the campaign runtime's per-test context cache, so the two filter
+    identically.
+    """
+    for atom in condition.atoms:
+        if atom.kind != "reg":
+            continue
+        # Unknown threads/registers read as 0, exactly as in
+        # Candidate.outcome's final_registers.get(..., 0) default.
+        if atom.thread is None or not 0 <= atom.thread < len(combination):
+            value: object = 0
+        else:
+            value = combination[atom.thread].final_registers.get(atom.name, 0)
+        if int(value) != atom.value:
+            return False
+    return True
+
+
 def target_plans(
     test: LitmusTest,
     variant: str = "standard",
@@ -355,31 +378,18 @@ def target_plans(
 ) -> Iterator[ComboPlan]:
     """Plans of the combinations that could witness the target outcome.
 
-    The final registers are fixed by the thread paths alone, so any
-    register atom of the condition filters whole combinations *before*
-    the event universe is interned or any relation built — for a
-    register-only ``exists`` clause (the common litmus shape) only the
-    combinations that actually match the target are ever constructed.
-    Memory atoms are left to the caller's outcome-universe check.
+    Register atoms of the condition filter whole combinations before any
+    interning — for a register-only ``exists`` clause (the common litmus
+    shape) only the combinations that actually match the target are ever
+    constructed.  Memory atoms are left to the caller's outcome-universe
+    check.
     """
     condition = test.condition
     assert condition is not None, "target_plans needs a final condition"
-    register_atoms = [atom for atom in condition.atoms if atom.kind == "reg"]
     all_paths = _thread_paths(test, value_domain)
     locations = set(test.locations())
     for combination in itertools.product(*all_paths):
-        matches = True
-        for atom in register_atoms:
-            # Unknown threads/registers read as 0, exactly as in
-            # Candidate.outcome's final_registers.get(..., 0) default.
-            if atom.thread is None or not 0 <= atom.thread < len(combination):
-                value: object = 0
-            else:
-                value = combination[atom.thread].final_registers.get(atom.name, 0)
-            if int(value) != atom.value:
-                matches = False
-                break
-        if not matches:
+        if not combination_matches_target(combination, condition):
             continue
         context = combination_context(combination, locations, test.init_memory)
         yield ComboPlan(context, test, variant)

@@ -33,6 +33,16 @@ checks are skipped for candidates whose outcome cannot match the
 target.  Counts and outcome sets in the result are then partial; only
 ``target_reachable`` / ``verdict`` are authoritative.  The fence-repair
 escalation loop and the campaign drivers use it via :meth:`Simulator.verdict`.
+
+``run(..., context=...)`` accepts a prebuilt per-test simulation
+context (:class:`repro.campaign.context.SimulationContext`): the
+expensive front half of the pipeline — thread-path enumeration, event
+interning, the fixed relations and the rf×co plan skeletons — is then
+reused instead of rebuilt.  The context is model-independent, so one
+context serves verdict queries under any number of models.  For
+process-level fan-out the campaign runtime ships picklable job specs
+(the litmus test plus a model *name*) and re-hydrates both the model
+and the context inside the worker; see :mod:`repro.campaign`.
 """
 
 from __future__ import annotations
@@ -52,7 +62,13 @@ ModelLike = Union[str, Architecture, Model]
 ENGINES = ("auto", "pruning", "naive")
 
 
-def _as_model(model: ModelLike) -> Model:
+def resolve_model(model: ModelLike) -> Model:
+    """Resolve a model-like value (name, architecture, model) to a model.
+
+    Campaign drivers call this once per campaign and pass the resolved
+    object down, instead of re-running ``get_architecture`` inside their
+    per-test loops.  Idempotent: resolved models pass through unchanged.
+    """
     if isinstance(model, Model):
         return model
     if isinstance(model, Architecture):
@@ -62,6 +78,10 @@ def _as_model(model: ModelLike) -> Model:
     if hasattr(model, "check"):  # duck-typed (cat-interpreted models)
         return model  # type: ignore[return-value]
     raise TypeError(f"cannot interpret {model!r} as a model")
+
+
+#: Backward-compatible alias (pre-campaign-runtime name).
+_as_model = resolve_model
 
 
 @dataclass
@@ -110,7 +130,7 @@ class Simulator:
     def __init__(self, model: ModelLike, engine: str = "auto"):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
-        self.model = _as_model(model)
+        self.model = resolve_model(model)
         self.engine = engine
 
     @property
@@ -132,7 +152,12 @@ class Simulator:
         keep_candidates: bool = False,
         stop_at_first_violation: bool = True,
         until: Optional[str] = None,
+        context=None,
     ) -> SimulationResult:
+        """Simulate *test*; ``context`` optionally supplies the memoized
+        front half (a :class:`repro.campaign.context.SimulationContext`
+        for this very test).  The context only accelerates the pruning
+        engine; naive and ``keep_candidates`` queries ignore it."""
         if until not in (None, "target"):
             raise ValueError(f"unknown until mode {until!r}")
         variant = self._pruning_variant()
@@ -142,19 +167,19 @@ class Simulator:
             and variant is not None
         )
         if use_pruning:
-            return self._run_pruning(test, variant, until)
+            return self._run_pruning(test, variant, until, context)
         return self._run_naive(
             test, keep_candidates, stop_at_first_violation, until
         )
 
-    def verdict(self, test: LitmusTest) -> str:
+    def verdict(self, test: LitmusTest, context=None) -> str:
         """Allow/Forbid for the target outcome (early-exit fast path)."""
-        return self.run(test, until="target").verdict
+        return self.run(test, until="target", context=context).verdict
 
     # -- pruning engine -----------------------------------------------------------
 
     def _run_pruning(
-        self, test: LitmusTest, variant: str, until: Optional[str]
+        self, test: LitmusTest, variant: str, until: Optional[str], context=None
     ) -> SimulationResult:
         check = self.model.check
         allowed_outcomes: set = set()
@@ -164,11 +189,18 @@ class Simulator:
         target_found = False
         verdict_only = until == "target" and test.condition is not None
 
-        plan_source = (
-            _engine.target_plans(test, variant)
-            if verdict_only
-            else _engine.plans(test, variant)
-        )
+        if context is not None:
+            plan_source = (
+                context.target_plans(variant)
+                if verdict_only
+                else context.plans(variant)
+            )
+        else:
+            plan_source = (
+                _engine.target_plans(test, variant)
+                if verdict_only
+                else _engine.plans(test, variant)
+            )
         for plan in plan_source:
             num_candidates += plan.total
             if verdict_only:

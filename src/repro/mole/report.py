@@ -63,11 +63,37 @@ def analyse_program(program: Program, max_cycle_length: int = 6) -> MoleReport:
 
 
 def analyse_corpus(
-    corpus: Mapping[str, Iterable[Program]], max_cycle_length: int = 6
+    corpus: Mapping[str, Iterable[Program]],
+    max_cycle_length: int = 6,
+    processes=None,
+    chunk_size: int = 2,
 ) -> Dict[str, MoleReport]:
-    """Run mole over a whole corpus; one aggregated report per package."""
+    """Run mole over a whole corpus; one aggregated report per package.
+
+    ``processes`` (an int, or ``"auto"`` for one worker per core) shards
+    the per-package cycle searches over the campaign runtime — packages
+    are independent, and the static analysis is pure, so sharded
+    censuses equal serial ones exactly.
+    """
+    from repro.campaign import runner as campaign_runner
+
+    packages = [(package, tuple(programs)) for package, programs in corpus.items()]
+    if campaign_runner.worker_count(processes) > 1 and len(packages) > 1:
+        from repro.campaign.jobs import MoleJob, mole_chunk
+
+        jobs = [
+            MoleJob(package, programs, max_cycle_length)
+            for package, programs in packages
+        ]
+        return {
+            package: MoleReport(name=package, cycles=cycles)
+            for package, cycles in campaign_runner.run_sharded(
+                mole_chunk, jobs, processes=processes, chunk_size=chunk_size
+            )
+        }
+
     reports: Dict[str, MoleReport] = {}
-    for package, programs in corpus.items():
+    for package, programs in packages:
         cycles: List[StaticCycle] = []
         for program in programs:
             cycles.extend(find_cycles(program, max_cycle_length))

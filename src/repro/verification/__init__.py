@@ -32,7 +32,13 @@ from repro.verification.program import (
     Const,
     BinOp,
 )
-from repro.verification.bmc import BoundedModelChecker, VerificationResult, verify_program, verify_litmus
+from repro.verification.bmc import (
+    BoundedModelChecker,
+    VerificationResult,
+    verify_batch,
+    verify_litmus,
+    verify_program,
+)
 from repro.verification.examples import (
     postgresql_example,
     rcu_example,
@@ -56,6 +62,7 @@ __all__ = [
     "VerificationResult",
     "verify_program",
     "verify_litmus",
+    "verify_batch",
     "postgresql_example",
     "rcu_example",
     "apache_example",

@@ -297,3 +297,47 @@ def verify_litmus(
 ) -> VerificationResult:
     """Convenience wrapper: check reachability of a litmus test's final state."""
     return BoundedModelChecker(model, backend).verify_litmus(test)
+
+
+def verify_batch(
+    items: Sequence[Union[Program, LitmusTest]],
+    model: Union[str, Architecture, Model] = "power",
+    backend: str = "axiomatic",
+    processes=None,
+    chunk_size: int = 4,
+    pool=None,
+) -> List[VerificationResult]:
+    """Verify a batch of programs and/or litmus tests, optionally sharded.
+
+    The batch path of the Tab. X/XI experiments: one checker decides the
+    whole batch (constructed once, not per item), and ``processes`` (an
+    int, or ``"auto"`` for one worker per core) shards the queries over
+    the campaign runtime — the model must then be a *name*, so workers
+    re-hydrate and memoize their own checker per process.  Results come
+    back in batch order; ``elapsed_seconds`` is measured wherever the
+    query actually ran.
+    """
+    from repro.campaign import runner as campaign_runner
+
+    items = list(items)
+    sharded = (
+        pool is not None or campaign_runner.worker_count(processes) > 1
+    ) and isinstance(model, str)
+    if sharded and len(items) > 1:
+        from repro.campaign.jobs import BmcJob, bmc_chunk
+
+        return campaign_runner.run_sharded(
+            bmc_chunk,
+            [BmcJob(item, model, backend) for item in items],
+            processes=processes,
+            chunk_size=chunk_size,
+            pool=pool,
+        )
+
+    checker = BoundedModelChecker(model, backend)
+    return [
+        checker.verify(item)
+        if isinstance(item, Program)
+        else checker.verify_litmus(item)
+        for item in items
+    ]
