@@ -133,21 +133,26 @@ def verdict_chunk(chunk: List[VerdictJob], payload: Any = None) -> List[Tuple[st
     return results
 
 
-def repair_chunk(chunk: List[LitmusTest], payload: Tuple[str, dict]):
+def repair_chunk(chunk: List[LitmusTest], payload: Tuple[str, dict, str]):
     """Worker: repair a chunk of tests with a process-local memo cache.
 
-    ``payload`` is ``(model name, cycle-cache snapshot)``; the worker
-    repairs against a local copy of the snapshot and returns it with the
-    reports so the parent can merge what this chunk learned.
+    ``payload`` is ``(model name, cycle-cache snapshot, placement
+    strategy)``; the worker repairs against a local copy of the snapshot
+    and returns it with the reports so the parent can merge what this
+    chunk learned.  ILP chunks behave exactly like greedy ones — the
+    strategy only changes which planner each repair runs.
     """
     from repro.fences.campaign import repair_one
 
-    model_name, cache_snapshot = payload
+    model_name, cache_snapshot, strategy = payload
     local = dict(cache_snapshot)
     simulator_model = process_simulator(model_name).model
     cache = process_context_cache()
     reports = [
-        repair_one(test, simulator_model, local, context_cache=cache)
+        repair_one(
+            test, simulator_model, local, context_cache=cache,
+            strategy=strategy,
+        )
         for test in chunk
     ]
     return reports, local

@@ -233,6 +233,123 @@ def sweep_family(
     return FamilySweep(model_name=simulator.model_name, verdicts=tuple(verdicts))
 
 
+def shared_gap_family(arch: str = "power") -> List[LitmusTest]:
+    """Hand-built multi-cycle tests whose critical cycles share a gap.
+
+    These are the shapes where the greedy cover provably overpays: the
+    reader thread carries overlapping delay pairs whose spans cross one
+    common insertion gap, and the cheapest cover places a single strong
+    fence there — but greedy, maximizing pairs-per-cost one round at a
+    time, first grabs a cheap mechanism that leaves the expensive pair
+    to be fenced separately.  The exact ILP strategy finds the shared
+    fence (see ``tests/test_fence_ilp.py`` for the cost accounting).
+    """
+    from repro.litmus.ast import TestBuilder
+
+    builder = TestBuilder(
+        "sharedgap",
+        arch=arch,
+        doc="overlapping critical cycles share one fence gap",
+    )
+    t0 = builder.thread()
+    r1 = t0.load("x")
+    t0.store("y", 1)
+    r2 = t0.load("z")
+    t1 = builder.thread()
+    t1.store("z", 1)
+    t1.store("x", 1)
+    t2 = builder.thread()
+    t2.store("z", 2)
+    t2.store("y", 2)
+    builder.exists({(0, r1): 1, (0, r2): 0})
+    return [builder.build()]
+
+
+@dataclass
+class CostComparison:
+    """Greedy-vs-ILP placement costs over one family (per strategy)."""
+
+    model_name: str
+    #: per test, in family order: ``(test name, greedy cost, ilp cost)``.
+    rows: Tuple[Tuple[str, float, float], ...]
+    greedy_seconds: float = 0.0
+    ilp_seconds: float = 0.0
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.rows)
+
+    @property
+    def greedy_total(self) -> float:
+        return sum(row[1] for row in self.rows)
+
+    @property
+    def ilp_total(self) -> float:
+        return sum(row[2] for row in self.rows)
+
+    @property
+    def gap(self) -> float:
+        """Total cost the greedy cover overpays versus the optimum."""
+        return self.greedy_total - self.ilp_total
+
+    @property
+    def num_strictly_cheaper(self) -> int:
+        return sum(1 for _, greedy, ilp in self.rows if ilp < greedy)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_tests} tests under {self.model_name}: greedy cost "
+            f"{self.greedy_total:g}, ilp cost {self.ilp_total:g} "
+            f"(gap {self.gap:g}, ilp strictly cheaper on "
+            f"{self.num_strictly_cheaper})"
+        )
+
+
+def compare_placement_costs(
+    tests: Sequence[LitmusTest],
+    model,
+    processes=None,
+    chunk_size: int = 8,
+    pool=None,
+) -> CostComparison:
+    """Repair a family under both placement strategies and tally costs.
+
+    Runs :func:`repro.fences.campaign.repair_family` twice — greedy,
+    then ILP — with separate memo caches, and pairs up the validated
+    per-test costs.  Sharding semantics are exactly those of
+    ``repair_family``; both passes use the same settings so the timings
+    are comparable.
+    """
+    import time
+
+    from repro.fences.campaign import repair_family
+
+    tests = list(tests)
+    results = {}
+    timings = {}
+    for strategy in ("greedy", "ilp"):
+        start = time.perf_counter()
+        results[strategy] = repair_family(
+            tests,
+            model,
+            processes=processes,
+            chunk_size=chunk_size,
+            pool=pool,
+            strategy=strategy,
+        )
+        timings[strategy] = time.perf_counter() - start
+    rows = tuple(
+        (greedy.test_name, greedy.cost, ilp.cost)
+        for greedy, ilp in zip(results["greedy"].reports, results["ilp"].reports)
+    )
+    return CostComparison(
+        model_name=results["greedy"].model_name,
+        rows=rows,
+        greedy_seconds=timings["greedy"],
+        ilp_seconds=timings["ilp"],
+    )
+
+
 def _generate(
     cycles: Iterable[Cycle], arch: str, limit: Optional[int]
 ) -> List[LitmusTest]:

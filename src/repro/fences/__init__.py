@@ -9,7 +9,11 @@ unobservable, and proves it by re-running the herd simulator:
   :mod:`repro.verification.program` programs;
 * :mod:`repro.fences.cycles` — critical cycles (Shasha & Snir);
 * :mod:`repro.fences.placement` — delay classification, per-architecture
-  fence cost tables and the greedy min-cut placement;
+  fence cost tables and the placement strategy interface (greedy
+  min-cut by default);
+* :mod:`repro.fences.ilp` — the exact 0/1 ILP placement
+  (``strategy="ilp"``), solved by pure-Python branch-and-bound over an
+  LP-relaxation bound;
 * :mod:`repro.fences.repair` — splicing fences / false dependencies back
   into the instruction stream;
 * :mod:`repro.fences.validate` — the validated escalation loop
@@ -36,7 +40,13 @@ from repro.fences.aeg import (
 )
 from repro.fences.campaign import CampaignResult, repair_family, repair_one
 from repro.fences.cycles import CriticalCycle, critical_cycles
-from repro.fences.placement import Mechanism, Placement, plan_placements
+from repro.fences.ilp import plan_ilp_cover, solve_cover
+from repro.fences.placement import (
+    PLACEMENT_STRATEGIES,
+    Mechanism,
+    Placement,
+    plan_placements,
+)
 from repro.fences.repair import RepairError, apply_placements
 from repro.fences.validate import RepairReport, repair_test, validate_repair
 
@@ -50,7 +60,10 @@ __all__ = [
     "critical_cycles",
     "Mechanism",
     "Placement",
+    "PLACEMENT_STRATEGIES",
     "plan_placements",
+    "plan_ilp_cover",
+    "solve_cover",
     "RepairError",
     "apply_placements",
     "RepairReport",

@@ -31,8 +31,11 @@ from repro.fences.validate import RepairReport, repair_test
 from repro.herd.simulator import ModelLike, resolve_model
 from repro.litmus.ast import LitmusTest
 
-#: model name -> cycle-signature-set -> mechanism seed
-CycleCache = Dict[Tuple[str, Tuple], Tuple[Tuple[Tuple, str], ...]]
+#: (model name, strategy, cycle-signature-set) -> mechanism seed.  The
+#: strategy is part of the key: greedy and ILP covers of the same cycle
+#: shape may legitimately settle on different mechanisms, and a seed
+#: must never leak across strategies.
+CycleCache = Dict[Tuple[str, str, Tuple], Tuple[Tuple[Tuple, str], ...]]
 
 
 @dataclass
@@ -89,6 +92,7 @@ def repair_one(
     model: ModelLike,
     cache: Optional[CycleCache] = None,
     context_cache=None,
+    strategy: str = "greedy",
 ) -> RepairReport:
     """Repair one test, consulting and updating the memo cache.
 
@@ -100,7 +104,9 @@ def repair_one(
     memoized simulation contexts.
     """
     if cache is None:
-        return repair_test(test, model, context_cache=context_cache)
+        return repair_test(
+            test, model, context_cache=context_cache, strategy=strategy
+        )
 
     model_name = model if isinstance(model, str) else getattr(model, "name", "")
     state: dict = {}
@@ -112,10 +118,11 @@ def repair_one(
             state["cycles"] = critical_cycles(aeg)
         return state["aeg"], state["cycles"]
 
-    def signature() -> Tuple[str, Tuple]:
+    def signature() -> Tuple[str, str, Tuple]:
         _, cycles = analysis()
         return (
             str(model_name),
+            strategy,
             tuple(sorted(cycle.signature() for cycle in cycles)),
         )
 
@@ -125,6 +132,7 @@ def repair_one(
         initial_mechanisms=lambda: cache.get(signature()),
         analysis=analysis,
         context_cache=context_cache,
+        strategy=strategy,
     )
     if report.success and report.needed_repair and report.mechanism_seed:
         cache[signature()] = report.mechanism_seed
@@ -139,6 +147,7 @@ def repair_family(
     chunk_size: int = 8,
     context_cache=None,
     pool=None,
+    strategy: str = "greedy",
 ) -> CampaignResult:
     """Repair every test of a family, optionally in parallel.
 
@@ -156,6 +165,11 @@ def repair_family(
     per-process context caches, which persist across chunks — and
     across whole batches when an open :class:`repro.campaign.CampaignPool`
     is passed as ``pool``.
+
+    ``strategy`` (``"greedy"`` or ``"ilp"``) selects the placement
+    planner for every repair of the campaign; ILP repairs shard and
+    memoize exactly like greedy ones (the memo key carries the
+    strategy, so mixed-strategy campaigns may share one ``cache``).
     """
     tests = list(tests)
     if cache is None:
@@ -171,7 +185,7 @@ def repair_family(
         reports: List[RepairReport] = campaign_runner.run_sharded(
             repair_chunk,
             tests,
-            payload=(model, dict(cache)),
+            payload=(model, dict(cache), strategy),
             processes=processes,
             chunk_size=chunk_size,
             merge=cache.update,
@@ -180,7 +194,10 @@ def repair_family(
     else:
         resolved = resolve_model(model)
         reports = [
-            repair_one(test, resolved, cache, context_cache=context_cache)
+            repair_one(
+                test, resolved, cache, context_cache=context_cache,
+                strategy=strategy,
+            )
             for test in tests
         ]
 

@@ -5,11 +5,12 @@ Given the critical cycles of an AEG and a target model, this module
 1. classifies each program-order pair of each cycle as *protected* or as
    a *delay* (relaxable under the model, given the fences and
    dependencies already present);
-2. selects insertion points with a greedy weighted set cover (the
-   practical core of the min-cut of "Don't sit on the fence"): a fence
-   inserted between two adjacent accesses of a thread cuts every delay
-   pair whose span crosses it, and one insertion can serve several
-   cycles at once;
+2. selects insertion points through a pluggable *strategy*: the default
+   ``"greedy"`` weighted set cover (the practical core of the min-cut of
+   "Don't sit on the fence") or the exact ``"ilp"`` 0/1 integer program
+   of :mod:`repro.fences.ilp` — a fence inserted between two adjacent
+   accesses of a thread cuts every delay pair whose span crosses it, and
+   one insertion can serve several cycles at once;
 3. equips every placement with an *escalation chain* — the per-pair
    mechanism candidates in ascending cost order (dependency, lightweight
    fence, full fence on Power; dependency, store fence, dmb on ARM;
@@ -19,14 +20,13 @@ Given the critical cycles of an AEG and a target model, this module
    pairs).
 
 Costs follow the architecture manuals' folklore: dependencies are almost
-free, lightweight fences cheap, full fences expensive.  An ILP-optimal
-placement is deliberately left as future work (see ROADMAP).
+free, lightweight fences cheap, full fences expensive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.fences.aeg import AbstractEventGraph, PoEdge
 from repro.fences.cycles import CriticalCycle
@@ -207,7 +207,7 @@ def total_cost(placements: Sequence[Placement]) -> float:
     return sum(placement.cost for placement in placements)
 
 
-def _fence_chain(
+def fence_chain(
     arch: str, pairs: Sequence[Tuple[str, str]], stronger_than: float = -1.0
 ) -> List[Mechanism]:
     """Fences of the ISA ordering *all* given pairs, ascending cost."""
@@ -220,7 +220,7 @@ def _fence_chain(
     return chain
 
 
-def _dep_applicable(edge: PoEdge) -> bool:
+def dep_applicable(edge: PoEdge) -> bool:
     """Can a false address dependency be spliced onto this pair?
 
     The source must be a read (its destination register carries the
@@ -235,37 +235,48 @@ def _dep_applicable(edge: PoEdge) -> bool:
     )
 
 
-def plan_placements(
+#: key -> PoEdge maps of the unprotected (delay) pairs of a problem.
+DelayMap = Dict[Tuple[int, int, int], PoEdge]
+
+#: A placement strategy maps (delay pairs, arch) to active placements.
+PlacementStrategy = Callable[[DelayMap, str], List[Placement]]
+
+#: Registered strategies.  ``"ilp"`` registers itself when
+#: :mod:`repro.fences.ilp` is imported, which the package ``__init__``
+#: always does — both names are present by the time any caller can
+#: reach :func:`resolve_strategy`.
+PLACEMENT_STRATEGIES: Dict[str, PlacementStrategy] = {}
+
+
+def classify_pairs(
     aeg: AbstractEventGraph,
     cycles: Sequence[CriticalCycle],
     model_name: str,
-    arch: Optional[str] = None,
-) -> List[Placement]:
-    """Greedy cover of all delay pairs, plus latent placements.
-
-    Returns active placements (a mechanism will be inserted) for every
-    unprotected delay pair of every critical cycle, and *latent*
-    placements (level 0 = keep the existing protection) for the pairs
-    whose static protection might still prove insufficient.  The list is
-    sorted by (thread, gap) for determinism.
-    """
-    arch = arch or isa_of_model(model_name, aeg.arch)
+    arch: str,
+) -> Tuple[DelayMap, DelayMap]:
+    """Split every cycle pair into (delays, statically protected)."""
     edges: Dict[Tuple[int, int, int], PoEdge] = {}
     for cycle in cycles:
         for edge in cycle.po_edges:
             edges.setdefault(edge.key, edge)
-
     delays = {
         key: edge
         for key, edge in edges.items()
         if not is_protected(edge, model_name, arch)
     }
     protected = {key: edge for key, edge in edges.items() if key not in delays}
+    return delays, protected
 
+
+def plan_greedy_cover(delays: DelayMap, arch: str) -> List[Placement]:
+    """Greedy weighted set cover of the delay pairs.
+
+    Candidate insertion gaps: gap g of thread t covers pair (i, j) iff
+    i <= g < j.  Each round picks the (gap, chain) with the best
+    cost-per-covered-pair ratio; the chain's cheapest mechanism must
+    order every pair the gap covers at once.
+    """
     placements: List[Placement] = []
-
-    # Candidate insertion gaps: gap g of thread t covers pair (i, j) iff
-    # i <= g < j.  Greedy weighted set cover over the delay pairs.
     uncovered: Set[Tuple[int, int, int]] = set(delays)
     while uncovered:
         best: Optional[Tuple[float, int, int, List[Tuple[int, int, int]], List[Mechanism]]] = None
@@ -281,10 +292,10 @@ def plan_placements(
                 if key[0] == thread and key[1] <= gap < key[2]
             )
             pairs = [delays[key].directions for key in covered]
-            chain = _fence_chain(arch, pairs)
+            chain = fence_chain(arch, pairs)
             if not chain:
                 continue
-            if len(covered) == 1 and _dep_applicable(delays[covered[0]]):
+            if len(covered) == 1 and dep_applicable(delays[covered[0]]):
                 chain = [_dep()] + chain
             score = (chain[0].cost / len(covered), thread, gap)
             if best is None or score < (best[0], best[1], best[2]):
@@ -302,25 +313,64 @@ def plan_placements(
             )
         )
         uncovered -= set(covered)
+    return placements
 
-    # Latent placements: statically protected pairs keep their mechanism
-    # but can be escalated to a real fence when validation demands it.
+
+PLACEMENT_STRATEGIES["greedy"] = plan_greedy_cover
+
+
+def latent_placements(protected: DelayMap, arch: str) -> List[Placement]:
+    """Latent placements: statically protected pairs keep their mechanism
+    but can be escalated to a real fence when validation demands it."""
+    placements: List[Placement] = []
     for key in sorted(protected):
         edge = protected[key]
-        fence_chain = _fence_chain(
+        chain = fence_chain(
             arch, [edge.directions], stronger_than=_strongest_present(edge)
         )
-        if not fence_chain:
+        if not chain:
             continue
         placements.append(
             Placement(
                 thread=key[0],
                 gap=key[2] - 1,
                 pair_keys=(key,),
-                chain=(KEEP, *fence_chain),
+                chain=(KEEP, *chain),
             )
         )
+    return placements
 
+
+def resolve_strategy(strategy: str) -> PlacementStrategy:
+    """Look up a registered placement strategy."""
+    try:
+        return PLACEMENT_STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENT_STRATEGIES))
+        raise ValueError(
+            f"unknown placement strategy {strategy!r} (known: {known})"
+        ) from None
+
+
+def plan_placements(
+    aeg: AbstractEventGraph,
+    cycles: Sequence[CriticalCycle],
+    model_name: str,
+    arch: Optional[str] = None,
+    strategy: str = "greedy",
+) -> List[Placement]:
+    """Cover all delay pairs with the chosen strategy, plus latents.
+
+    Returns active placements (a mechanism will be inserted) for every
+    unprotected delay pair of every critical cycle, and *latent*
+    placements (level 0 = keep the existing protection) for the pairs
+    whose static protection might still prove insufficient.  The list is
+    sorted by (thread, gap) for determinism.
+    """
+    arch = arch or isa_of_model(model_name, aeg.arch)
+    delays, protected = classify_pairs(aeg, cycles, model_name, arch)
+    placements = resolve_strategy(strategy)(delays, arch)
+    placements.extend(latent_placements(protected, arch))
     placements.sort(key=lambda p: (p.thread, p.gap))
     return placements
 

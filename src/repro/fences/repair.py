@@ -66,11 +66,14 @@ def apply_placements(
     aeg: AbstractEventGraph,
     placements: Sequence[Placement],
     name_suffix: str = "+fixed",
+    strategy: str = "greedy",
 ) -> LitmusTest:
     """Return a new litmus test with every active placement spliced in.
 
     Placements whose mechanism is ``existing`` insert nothing.  The
-    result shares no mutable state with the input test.
+    result shares no mutable state with the input test.  ``strategy``
+    only annotates the doc string of the repaired test (non-default
+    strategies are called out), so provenance survives into reports.
     """
     threads: List[List[Instruction]] = [list(thread) for thread in test.threads]
     # Collect insertions per thread as (instr_position, priority, items)
@@ -131,7 +134,8 @@ def apply_placements(
     )
     doc = test.doc
     if mechanisms:
-        doc = (doc + " " if doc else "") + f"[repaired: {mechanisms}]"
+        tag = "repaired" if strategy == "greedy" else f"repaired/{strategy}"
+        doc = (doc + " " if doc else "") + f"[{tag}: {mechanisms}]"
     return LitmusTest(
         name=test.name + name_suffix,
         arch=test.arch,

@@ -37,6 +37,7 @@ class RepairReport:
     after_verdict: str
     success: bool
     repaired: Optional[LitmusTest]
+    strategy: str = "greedy"
     placements: Tuple[Placement, ...] = ()
     cost: float = 0.0
     validations: int = 0
@@ -112,6 +113,7 @@ def repair_test(
     initial_mechanisms=None,
     analysis=None,
     context_cache=None,
+    strategy: str = "greedy",
 ) -> RepairReport:
     """Synthesize the cheapest validated fence placement for one test.
 
@@ -133,6 +135,11 @@ def repair_test(
     re-run) is validated more than once.  Pass ``model`` as an already
     resolved :class:`~repro.core.model.Model` when repairing in a loop —
     the campaign drivers resolve it once and pass it down.
+
+    ``strategy`` selects the placement planner: the default greedy
+    weighted set cover, or ``"ilp"`` for the exact integer program of
+    :mod:`repro.fences.ilp`.  Escalation, splicing and validation are
+    strategy-independent — only the initial cover differs.
     """
     simulator = Simulator(model)
     model_name = simulator.model_name
@@ -146,6 +153,7 @@ def repair_test(
             after_verdict=before,
             success=True,
             repaired=None,
+            strategy=strategy,
             validations=1,
         )
 
@@ -158,7 +166,7 @@ def repair_test(
         cycles = critical_cycles(aeg)
     if callable(initial_mechanisms):
         initial_mechanisms = initial_mechanisms()
-    placements = plan_placements(aeg, cycles, model_name)
+    placements = plan_placements(aeg, cycles, model_name, strategy=strategy)
     seeded = _seed_from_cache(aeg, placements, initial_mechanisms)
 
     validations = 1  # the "before" run
@@ -167,7 +175,7 @@ def repair_test(
     success = False
     while validations < max_validations:
         try:
-            repaired = apply_placements(test, aeg, placements)
+            repaired = apply_placements(test, aeg, placements, strategy=strategy)
         except RepairError:
             # A mechanism cannot be spliced (e.g. a dependency into an
             # access whose index register is taken): escalate past it
@@ -202,6 +210,7 @@ def repair_test(
         after_verdict=after,
         success=success,
         repaired=repaired,
+        strategy=strategy,
         placements=tuple(placements),
         cost=total_cost(placements),
         validations=validations,

@@ -118,6 +118,30 @@ def test_sharded_fence_campaign_matches_serial():
     assert serial.total_cost == sharded.total_cost
 
 
+def test_sharded_ilp_fence_campaign_matches_serial():
+    """ILP repairs shard and cache exactly like greedy ones: the chunk
+    workers carry the strategy in their payload, and sharded results
+    (mechanisms, costs, memo behaviour) are byte-equal to serial."""
+    from repro.diy.families import shared_gap_family
+
+    tests = _family() + shared_gap_family()
+    serial = repair_family(tests, "power", strategy="ilp")
+    sharded = repair_family(
+        tests, "power", strategy="ilp", processes=2, chunk_size=4
+    )
+    assert serial.model_name == sharded.model_name
+    assert [
+        (r.test_name, r.before_verdict, r.after_verdict, r.success,
+         r.mechanisms, r.strategy, r.cost)
+        for r in serial.reports
+    ] == [
+        (r.test_name, r.before_verdict, r.after_verdict, r.success,
+         r.mechanisms, r.strategy, r.cost)
+        for r in sharded.reports
+    ]
+    assert serial.total_cost == sharded.total_cost
+
+
 def test_sharded_hardware_campaign_matches_serial():
     tests = _family()[:6]
     chips = default_power_chips()[:2]
