@@ -1,0 +1,85 @@
+"""The Session façade: warm-session batch verdicts vs the cold per-call loop.
+
+Not a paper table: this benchmark tracks the amortisation the
+:class:`repro.Session` front door buys over the pre-session shape of
+the API, where every call re-resolved its model and rebuilt its
+simulation front half:
+
+* **cold per-call loop** — for every (model, test) pair, construct a
+  fresh ``Simulator(model_name)`` and ask one verdict: the model is
+  re-resolved per call and every test's front half (thread paths,
+  event interning, fixed relations, plan skeletons) is rebuilt per
+  model;
+* **warm session** — one :class:`~repro.session.Session`, one
+  ``session.verdict(tests, model=...)`` batch per model: models resolve
+  once into the session cache and every test's simulation context is
+  built once and shared by all subsequent models.
+
+The verdicts must be identical; the warm path must win on any machine
+(the win is cache reuse, not parallelism — the session here is serial,
+exactly like the default session behind ``from repro import verdict``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro import Session
+from repro.herd.simulator import Simulator
+from repro.litmus.registry import all_tests
+
+MODELS = ("power", "arm", "tso", "arm-llh")
+
+
+def _session_stats():
+    tests = all_tests()
+
+    start = time.perf_counter()
+    cold = {
+        model: [Simulator(model).verdict(test) for test in tests]
+        for model in MODELS
+    }
+    cold_seconds = time.perf_counter() - start
+
+    with Session(model="power") as session:
+        start = time.perf_counter()
+        warm = {model: session.verdict(tests, model=model) for model in MODELS}
+        warm_seconds = time.perf_counter() - start
+        stats = session.stats()
+
+    return {
+        "tests": len(tests),
+        "models": len(MODELS),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "context_hits": stats["context_cache"]["hits"],
+        "context_misses": stats["context_cache"]["misses"],
+        "model_misses": stats["model_cache"]["misses"],
+        "verdicts_equal": cold == warm,
+        "allowed_per_model": {
+            model: sum(1 for verdict in warm[model] if verdict == "Allow")
+            for model in MODELS
+        },
+    }
+
+
+def test_session_warm_batches_beat_cold_per_call_loop(benchmark):
+    stats = run_once(benchmark, _session_stats)
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in stats.items()}
+    )
+
+    # The façade changes the wall-clock, never the verdicts.
+    assert stats["verdicts_equal"]
+    # One context per test serves every model of the session...
+    assert stats["context_misses"] == stats["tests"]
+    assert stats["context_hits"] == stats["tests"] * (stats["models"] - 1)
+    # ...each model name resolves exactly once per session...
+    assert stats["model_misses"] == len(MODELS)
+    # ...and the amortisation must actually show on the clock.
+    assert stats["warm_seconds"] < stats["cold_seconds"]
+    # Sanity: the swept models still disagree the way the paper says.
+    allowed = stats["allowed_per_model"]
+    assert allowed["tso"] < allowed["power"] <= allowed["arm"]

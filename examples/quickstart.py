@@ -1,37 +1,40 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate classic litmus tests under several memory models.
+"""Quickstart: one Session, many analyses.
 
-This walks through the core loop of the paper: take a litmus test
-(message passing, store buffering, load buffering...), enumerate its
-candidate executions, and ask different models — SC, TSO, Power, ARM —
-which outcomes they allow.
+The toolbox has one front door — ``repro.Session`` — that owns the
+resolved models, the simulation-context cache and the campaign pool for
+every verb.  This walks the core loop of the paper through it: take a
+litmus test (message passing, store buffering, load buffering...), ask
+different models — SC, TSO, Power, ARM — which outcomes they allow,
+then stay in the same session to repair a racy test and sweep a batch,
+with every verb reusing the state the previous ones warmed up.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.herd import simulate
+from repro import Session
 from repro.litmus.ast import TestBuilder
-from repro.litmus.registry import get_entry, get_test
+from repro.litmus.registry import get_entry
 
 MODELS = ("sc", "tso", "power", "arm")
 
 
-def show(test_name: str) -> None:
+def show(session: Session, test_name: str) -> None:
     entry = get_entry(test_name)
     test = entry.build()
     print(f"== {test.name}  ({entry.figure})")
     print(test.pretty())
     for model in MODELS:
-        result = simulate(test, model)
+        result = session.simulate(test, model=model)
         expected = entry.expectations.get(model)
         note = f"   (paper: {expected})" if expected else ""
         print(f"  {model:6s} -> {result.verdict}{note}")
     print()
 
 
-def build_your_own() -> None:
+def build_your_own(session: Session) -> None:
     """Litmus tests can also be built programmatically."""
     builder = TestBuilder("my-mp+sync+ctrlisync", arch="power",
                           doc="message passing, hand-built")
@@ -49,14 +52,36 @@ def build_your_own() -> None:
     print("== a hand-built test")
     print(test.pretty())
     for model in MODELS:
-        print(f"  {model:6s} -> {simulate(test, model).verdict}")
+        print(f"  {model:6s} -> {session.verdict(test, model=model)}")
+    print()
+
+
+def one_session_many_verbs(session: Session) -> None:
+    """The same session repairs, sweeps and serializes — sharing state."""
+    mp = get_entry("mp").build()
+
+    report = session.repair(mp)                     # validated fence synthesis
+    print("== repairing mp on the same session")
+    print("  " + report.describe())
+
+    batch = [get_entry(name).build() for name in ("mp", "sb", "lb", "wrc")]
+    swept = session.sweep(batch, model="tso")       # batch verdicts, one call
+    print("  " + swept.describe())
+    print("  as JSON:", swept.to_json()[:72] + "...")
+
+    stats = session.stats()
+    print(f"  session cache stats: {stats['context_cache']['hits']} context hits,"
+          f" {stats['model_cache']['hits']} model-cache hits")
     print()
 
 
 def main() -> None:
-    for name in ("mp", "mp+lwsync+addr", "sb", "sb+syncs", "lb", "lb+addrs", "iriw+syncs"):
-        show(name)
-    build_your_own()
+    with Session(model="power") as session:
+        for name in ("mp", "mp+lwsync+addr", "sb", "sb+syncs", "lb",
+                     "lb+addrs", "iriw+syncs"):
+            show(session, name)
+        build_your_own(session)
+        one_session_many_verbs(session)
     print("The 'Forbid' verdicts are the guarantees a programmer can rely on;")
     print("the 'Allow' verdicts are the reorderings the hardware may exhibit.")
 

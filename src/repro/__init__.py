@@ -22,17 +22,74 @@ The package is organised around the paper's artefacts:
 * :mod:`repro.mole` — the static critical-cycle analyser and its corpus;
 * :mod:`repro.fences` — automatic fence synthesis and repair: critical
   cycles of an abstract event graph, greedy min-cut placement with
-  per-architecture cost tables, validated against the herd simulator.
+  per-architecture cost tables, validated against the herd simulator;
+* :mod:`repro.campaign` — the shared batch runtime: process sharding,
+  per-test simulation contexts, persistent worker pools;
+* :mod:`repro.session` — the one front door: a stateful
+  :class:`~repro.session.Session` owning models, caches, pools and
+  defaults for every driver.
 
 Quick start::
 
+    from repro import Session
     from repro.litmus.registry import get_test
-    from repro.herd import simulate
 
-    result = simulate(get_test("mp+lwsync+addr"), "power")
-    print(result.verdict)        # "Forbid"
+    with Session(model="power") as session:
+        print(session.verdict(get_test("mp+lwsync+addr")))   # "Forbid"
+        print(session.repair(get_test("mp")).describe())     # lwsync+addr
+
+The module-level verbs (``from repro import simulate, repair, ...``)
+run on a process-wide default session.  Everything here is re-exported
+lazily — importing :mod:`repro` does not import any driver until a name
+is first used.
 """
+
+from importlib import import_module
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: public name -> defining module, resolved lazily on first attribute
+#: access so that ``import repro`` stays free of driver import cost.
+_EXPORTS = {
+    # the session façade
+    "Session": "repro.session",
+    "default_session": "repro.session",
+    "simulate": "repro.session",
+    "verdict": "repro.session",
+    "repair": "repro.session",
+    "observe": "repro.session",
+    "sweep": "repro.session",
+    "analyse": "repro.session",
+    "verify": "repro.session",
+    # the uniform result protocol
+    "Report": "repro.report",
+    # the shared campaign runtime
+    "CampaignPool": "repro.campaign",
+    "ContextCache": "repro.campaign",
+    # the vocabulary the verbs speak
+    "LitmusTest": "repro.litmus.ast",
+    "TestBuilder": "repro.litmus.ast",
+    "get_test": "repro.litmus.registry",
+    "all_tests": "repro.litmus.registry",
+    "Simulator": "repro.herd.simulator",
+    "SimulationResult": "repro.herd.simulator",
+    "resolve_model": "repro.herd.simulator",
+    "load_builtin_model": "repro.cat.stdlib",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports: resolve a public name from its home module on
+    first use and cache it in the package namespace."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

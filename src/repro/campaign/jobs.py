@@ -89,6 +89,18 @@ class VerdictJob:
 
 
 @dataclass(frozen=True)
+class SimulateJob:
+    """One full simulation summary (no candidate objects — those do not
+    cross process boundaries; ``Session.simulate`` keeps
+    ``keep_candidates`` queries serial)."""
+
+    test: LitmusTest
+    model_name: str
+    engine: str = "auto"
+    until: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class HardwareJob:
     """One test of a hardware-testing campaign: model summary plus chip
     observations (chips re-hydrated by name, RNG seeds drawn by the
@@ -130,6 +142,18 @@ def verdict_chunk(chunk: List[VerdictJob], payload: Any = None) -> List[Tuple[st
         simulator = process_simulator(job.model_name, job.engine)
         verdict = simulator.verdict(job.test, context=cache.get(job.test))
         results.append((job.test.name, verdict))
+    return results
+
+
+def simulate_chunk(chunk: List[SimulateJob], payload: Any = None):
+    """Worker: one full :class:`SimulationResult` per job of the chunk."""
+    results = []
+    cache = process_context_cache()
+    for job in chunk:
+        simulator = process_simulator(job.model_name, job.engine)
+        results.append(
+            simulator.run(job.test, until=job.until, context=cache.get(job.test))
+        )
     return results
 
 

@@ -19,7 +19,13 @@ the simulator: it is a small text file written in a relational language
 
 from repro.cat.parser import parse_cat
 from repro.cat.interpreter import CatModel, load_cat_model
-from repro.cat.stdlib import builtin_model_names, builtin_model_source, load_builtin_model
+from repro.cat.stdlib import (
+    builtin_model_names,
+    builtin_model_source,
+    clear_model_cache,
+    load_builtin_model,
+    load_stats,
+)
 
 __all__ = [
     "parse_cat",
@@ -28,4 +34,6 @@ __all__ = [
     "builtin_model_names",
     "builtin_model_source",
     "load_builtin_model",
+    "load_stats",
+    "clear_model_cache",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.diy.cycles import Cycle, Edge, coe, dep, fenced, fre, po, rfe
 from repro.diy.generator import generate_test
 from repro.litmus.ast import LitmusTest
+from repro.report import JsonReportMixin
 
 #: Per-architecture fence vocabulary used for Fenced program-order edges.
 FENCES_BY_ARCH: Dict[str, Tuple[str, ...]] = {
@@ -150,7 +151,7 @@ def extended_family(arch: str = "power", limit: Optional[int] = None) -> List[Li
 
 
 @dataclass
-class FamilySweep:
+class FamilySweep(JsonReportMixin):
     """Verdicts of one family under one model (a column of Tab. V/IX)."""
 
     model_name: str
@@ -180,6 +181,16 @@ class FamilySweep:
             f"{self.num_tests} tests under {self.model_name}: "
             f"{self.num_allowed} Allow, {self.num_forbidden} Forbid"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "family-sweep",
+            "model": self.model_name,
+            "num_tests": self.num_tests,
+            "num_allowed": self.num_allowed,
+            "num_forbidden": self.num_forbidden,
+            "verdicts": [[name, test_verdict] for name, test_verdict in self.verdicts],
+        }
 
 
 def sweep_family(
@@ -266,7 +277,7 @@ def shared_gap_family(arch: str = "power") -> List[LitmusTest]:
 
 
 @dataclass
-class CostComparison:
+class CostComparison(JsonReportMixin):
     """Greedy-vs-ILP placement costs over one family (per strategy)."""
 
     model_name: str
@@ -303,6 +314,20 @@ class CostComparison:
             f"(gap {self.gap:g}, ilp strictly cheaper on "
             f"{self.num_strictly_cheaper})"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "cost-comparison",
+            "model": self.model_name,
+            "num_tests": self.num_tests,
+            "greedy_total": self.greedy_total,
+            "ilp_total": self.ilp_total,
+            "gap": self.gap,
+            "num_strictly_cheaper": self.num_strictly_cheaper,
+            "greedy_seconds": self.greedy_seconds,
+            "ilp_seconds": self.ilp_seconds,
+            "rows": [[name, greedy, ilp] for name, greedy, ilp in self.rows],
+        }
 
 
 def compare_placement_costs(

@@ -30,6 +30,7 @@ from repro.fences.cycles import critical_cycles
 from repro.fences.validate import RepairReport, repair_test
 from repro.herd.simulator import ModelLike, resolve_model
 from repro.litmus.ast import LitmusTest
+from repro.report import JsonReportMixin
 
 #: (model name, strategy, cycle-signature-set) -> mechanism seed.  The
 #: strategy is part of the key: greedy and ILP covers of the same cycle
@@ -39,7 +40,7 @@ CycleCache = Dict[Tuple[str, str, Tuple], Tuple[Tuple[Tuple, str], ...]]
 
 
 @dataclass
-class CampaignResult:
+class CampaignResult(JsonReportMixin):
     """Summary of repairing one family of tests."""
 
     model_name: str
@@ -79,6 +80,20 @@ class CampaignResult:
             f"(total cost {self.total_cost:g}, {self.total_validations} validations, "
             f"{self.cache_hits} cache hits)"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "repair-campaign",
+            "model": self.model_name,
+            "num_tests": self.num_tests,
+            "num_needing_repair": self.num_needing_repair,
+            "num_repaired": self.num_repaired,
+            "num_failed": self.num_failed,
+            "total_cost": self.total_cost,
+            "total_validations": self.total_validations,
+            "cache_hits": self.cache_hits,
+            "reports": [report.to_dict() for report in self.reports],
+        }
 
 
 def cycle_signature(test: LitmusTest) -> Tuple:

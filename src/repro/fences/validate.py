@@ -25,10 +25,11 @@ from repro.fences.placement import Placement, plan_placements, total_cost
 from repro.fences.repair import RepairError, apply_placements
 from repro.herd.simulator import ModelLike, Simulator
 from repro.litmus.ast import LitmusTest
+from repro.report import JsonReportMixin
 
 
 @dataclass
-class RepairReport:
+class RepairReport(JsonReportMixin):
     """Outcome of synthesizing fences for one litmus test."""
 
     test_name: str
@@ -72,6 +73,30 @@ class RepairReport:
             f"{mechanisms} (cost {self.cost:g}, {self.validations} validation"
             f"{'s' if self.validations != 1 else ''})"
         )
+
+    @property
+    def verdict(self) -> str:
+        """The verdict after repair (``"Forbid"`` on success)."""
+        return self.after_verdict
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "repair",
+            "test": self.test_name,
+            "model": self.model_name,
+            "verdict": self.after_verdict,
+            "before_verdict": self.before_verdict,
+            "after_verdict": self.after_verdict,
+            "success": self.success,
+            "needed_repair": self.needed_repair,
+            "strategy": self.strategy,
+            "mechanisms": list(self.mechanisms),
+            "cost": self.cost,
+            "validations": self.validations,
+            "num_cycles": self.num_cycles,
+            "from_cache": self.from_cache,
+            "repaired": self.repaired.pretty() if self.repaired is not None else None,
+        }
 
 
 def validate_repair(

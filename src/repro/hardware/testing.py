@@ -33,6 +33,7 @@ from repro.hardware.chips import SimulatedChip
 from repro.herd.enumerate import candidate_executions
 from repro.herd.simulator import Simulator
 from repro.litmus.ast import LitmusTest
+from repro.report import JsonReportMixin, outcome_key
 
 Outcome = Tuple[Tuple[str, int], ...]
 
@@ -45,7 +46,7 @@ _AXIOM_LETTER = {
 
 
 @dataclass
-class ObservedTest:
+class ObservedTest(JsonReportMixin):
     """One test's campaign record."""
 
     test: LitmusTest
@@ -72,9 +73,43 @@ class ObservedTest:
                     total += count
         return total
 
+    @property
+    def verdict(self) -> str:
+        """The model's Allow/Forbid verdict for the test's target outcome."""
+        return self.model_verdict
+
+    def describe(self) -> str:
+        status = "invalid" if self.invalid else ("unseen" if self.unseen else "agrees")
+        return (
+            f"{self.test.name}: model says {self.model_verdict}, "
+            f"target observed {self.total_target_observations()} times ({status})"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "observed-test",
+            "test": self.test.name,
+            "verdict": self.model_verdict,
+            "model_verdict": self.model_verdict,
+            "target_observed": self.target_observed,
+            "target_observations": self.total_target_observations(),
+            "invalid": self.invalid,
+            "unseen": self.unseen,
+            "model_outcomes": sorted(
+                outcome_key(outcome) for outcome in self.model_outcomes
+            ),
+            "observed_outcomes": {
+                chip: {
+                    outcome_key(outcome): count
+                    for outcome, count in sorted(per_chip.items())
+                }
+                for chip, per_chip in sorted(self.observed_outcomes.items())
+            },
+        }
+
 
 @dataclass
-class CampaignReport:
+class CampaignReport(JsonReportMixin):
     """Summary of a campaign: the content of one column of Tab. V."""
 
     model_name: str
@@ -105,6 +140,16 @@ class CampaignReport:
             f"{self.model_name}: {row['# tests']} tests, "
             f"{row['invalid']} invalid, {row['unseen']} unseen"
         )
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "hardware-campaign",
+            "model": self.model_name,
+            "num_tests": self.num_tests,
+            "num_invalid": len(self.invalid_tests),
+            "num_unseen": len(self.unseen_tests),
+            "results": [result.to_dict() for result in self.results],
+        }
 
 
 def _outcome_matches_condition(test: LitmusTest, outcome: Outcome) -> bool:
@@ -216,6 +261,7 @@ def run_campaign(
     processes=None,
     context_cache=None,
     chunk_size: int = 4,
+    pool=None,
 ) -> CampaignReport:
     """Run a family of tests on a chip population and compare with a model.
 
@@ -225,6 +271,8 @@ def run_campaign(
     workers can re-hydrate both (custom chip objects fall back to the
     serial path).  Chip RNG seeds are drawn up front by the parent in
     the serial order, so sharded reports are identical to serial ones.
+    ``pool`` reuses an open :class:`repro.campaign.CampaignPool` (a
+    session's warm workers) instead of spinning a fresh one per call.
 
     Every test is simulated several times per campaign — once under the
     reference model, then once per chip implementation model plus its
@@ -244,7 +292,7 @@ def run_campaign(
 
     chip_references = None
     if (
-        campaign_runner.worker_count(processes) > 1
+        (pool is not None or campaign_runner.worker_count(processes) > 1)
         and isinstance(model, str)
         and len(tests) > 1
     ):
@@ -259,7 +307,11 @@ def run_campaign(
         ]
         report.results.extend(
             campaign_runner.run_sharded(
-                hardware_chunk, jobs, processes=processes, chunk_size=chunk_size
+                hardware_chunk,
+                jobs,
+                processes=processes,
+                chunk_size=chunk_size,
+                pool=pool,
             )
         )
     else:

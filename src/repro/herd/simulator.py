@@ -55,6 +55,7 @@ from repro.core.model import Architecture, CheckResult, Model
 from repro.herd import engine as _engine
 from repro.herd.enumerate import Candidate, candidate_executions
 from repro.litmus.ast import LitmusTest
+from repro.report import JsonReportMixin, outcome_key
 
 Outcome = Tuple[Tuple[str, int], ...]
 ModelLike = Union[str, Architecture, Model]
@@ -85,7 +86,7 @@ _as_model = resolve_model
 
 
 @dataclass
-class SimulationResult:
+class SimulationResult(JsonReportMixin):
     """Summary of simulating one litmus test under one model."""
 
     test: LitmusTest
@@ -116,6 +117,29 @@ class SimulationResult:
             rendering = ", ".join(f"{name}={value}" for name, value in outcome)
             lines.append(f"  allowed outcome: {rendering}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-plain summary (candidate executions appear as counts only)."""
+        return {
+            "type": "simulation",
+            "test": self.test.name,
+            "model": self.model_name,
+            "verdict": self.verdict,
+            "condition": str(self.test.condition)
+            if self.test.condition is not None
+            else None,
+            "condition_holds": self.condition_holds,
+            "target_reachable": self.target_reachable,
+            "num_candidates": self.num_candidates,
+            "num_allowed": self.num_allowed,
+            "partial": self.partial,
+            "allowed_outcomes": sorted(
+                outcome_key(outcome) for outcome in self.allowed_outcomes
+            ),
+            "all_outcomes": sorted(
+                outcome_key(outcome) for outcome in self.all_outcomes
+            ),
+        }
 
 
 class Simulator:

@@ -13,11 +13,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.mole.analysis import StaticCycle, find_cycles
+from repro.report import JsonReportMixin
 from repro.verification.program import Program
 
 
 @dataclass
-class MoleReport:
+class MoleReport(JsonReportMixin):
     """The census of one program (or one package aggregate)."""
 
     name: str
@@ -56,6 +57,18 @@ class MoleReport:
             lines.append(f"    {axiom:20s} {count}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        return {
+            "type": "mole-census",
+            "name": self.name,
+            "num_cycles": self.num_cycles,
+            "num_critical": len(self.critical_cycles()),
+            "num_sc_per_location": len(self.sc_per_location_cycles()),
+            "patterns": self.patterns(),
+            "axioms": self.axioms(),
+            "cycles": [cycle.describe() for cycle in self.cycles],
+        }
+
 
 def analyse_program(program: Program, max_cycle_length: int = 6) -> MoleReport:
     """Run mole on one program."""
@@ -67,18 +80,23 @@ def analyse_corpus(
     max_cycle_length: int = 6,
     processes=None,
     chunk_size: int = 2,
+    pool=None,
 ) -> Dict[str, MoleReport]:
     """Run mole over a whole corpus; one aggregated report per package.
 
     ``processes`` (an int, or ``"auto"`` for one worker per core) shards
     the per-package cycle searches over the campaign runtime — packages
     are independent, and the static analysis is pure, so sharded
-    censuses equal serial ones exactly.
+    censuses equal serial ones exactly.  ``pool`` reuses an open
+    :class:`repro.campaign.CampaignPool` (a session's warm workers)
+    instead of spinning a fresh one per call.
     """
     from repro.campaign import runner as campaign_runner
 
     packages = [(package, tuple(programs)) for package, programs in corpus.items()]
-    if campaign_runner.worker_count(processes) > 1 and len(packages) > 1:
+    if (
+        pool is not None or campaign_runner.worker_count(processes) > 1
+    ) and len(packages) > 1:
         from repro.campaign.jobs import MoleJob, mole_chunk
 
         jobs = [
@@ -88,7 +106,11 @@ def analyse_corpus(
         return {
             package: MoleReport(name=package, cycles=cycles)
             for package, cycles in campaign_runner.run_sharded(
-                mole_chunk, jobs, processes=processes, chunk_size=chunk_size
+                mole_chunk,
+                jobs,
+                processes=processes,
+                chunk_size=chunk_size,
+                pool=pool,
             )
         }
 

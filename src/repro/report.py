@@ -1,0 +1,85 @@
+"""The uniform ``Report`` protocol every result type conforms to.
+
+The toolbox produces many result shapes — simulation summaries, repair
+reports, hardware-campaign records, mole censuses, family sweeps, BMC
+results — and a long-lived service wants to serialize all of them the
+same way.  Every result type therefore implements:
+
+* ``describe()`` — a human-readable multi-line summary;
+* ``to_dict()`` — a JSON-plain dictionary (strings, numbers, booleans,
+  ``None``, lists and string-keyed dictionaries only), so
+  ``json.loads(r.to_json()) == r.to_dict()`` round-trips exactly;
+* ``to_json()`` — the canonical JSON rendering of ``to_dict()``
+  (sorted keys, optional indentation);
+
+and, where an Allow/Forbid question is being answered, a ``verdict``
+attribute.  :class:`Report` is the :class:`typing.Protocol` of that
+surface; :class:`JsonReportMixin` supplies ``to_json`` from ``to_dict``
+so result dataclasses only write the dictionary half.
+
+``to_dict`` deliberately serializes *summaries*, not live objects:
+litmus tests appear by name (and, for repaired tests, by their pretty
+rendering), candidate executions as counts or presence flags.  The
+dictionaries are for transport and archival, not for reconstructing
+simulator state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+__all__ = ["Report", "JsonReportMixin", "render_json", "plain"]
+
+
+@runtime_checkable
+class Report(Protocol):
+    """What every result type of the toolbox exposes."""
+
+    def describe(self) -> str:
+        ...
+
+    def to_dict(self) -> Dict[str, Any]:
+        ...
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        ...
+
+
+def plain(value: Any) -> Any:
+    """Recursively coerce a value into JSON-plain data.
+
+    Tuples become lists, sets and frozensets become sorted lists,
+    mapping keys become strings; anything not already JSON-native is
+    rendered with ``str``.  The shipped ``to_dict`` implementations
+    build JSON-plain dictionaries by hand (the test-suite uses this
+    helper to prove it); new report types with deeper structures can
+    funnel their fields through it instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [plain(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((plain(item) for item in value), key=repr)
+    return str(value)
+
+
+def render_json(report: Report, indent: Optional[int] = None) -> str:
+    """The canonical JSON rendering of a report (sorted keys)."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+class JsonReportMixin:
+    """Supplies ``to_json`` to any class defining ``to_dict``."""
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return render_json(self, indent=indent)  # type: ignore[arg-type]
+
+
+def outcome_key(outcome) -> str:
+    """Render one litmus outcome (a tuple of (name, value) pairs) as a
+    stable string key, e.g. ``"0:EAX=0; 1:EAX=1"``."""
+    return "; ".join(f"{name}={value}" for name, value in outcome)

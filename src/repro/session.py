@@ -1,0 +1,551 @@
+"""One front door: a stateful :class:`Session` façade over every driver.
+
+The toolbox is one conceptual workflow — simulate litmus tests, repair
+them with fences, observe them on hardware populations, sweep generated
+families, mine programs for cycles, model-check concurrent code — but
+each driver historically resolved its own models and threaded its own
+``context_cache=`` / ``processes=`` / ``pool=`` / ``strategy=`` kwargs.
+A :class:`Session` owns that cross-cutting state once:
+
+* a **resolved-model cache** — model names are resolved to
+  :class:`~repro.core.model.Model` objects once per session, never per
+  call (``stats()["model_cache"]`` counts the hits);
+* a shared :class:`~repro.campaign.ContextCache` — the memoized front
+  half of the simulation pipeline is reused by *every* verb, so a test
+  repaired, swept and observed in one session interns its events once;
+* a fence-repair **cycle-signature memo** shared by every ``repair``
+  call, so families repaired across several batches keep their seeds;
+* a lazily-started persistent :class:`~repro.campaign.CampaignPool` —
+  the first batch verb on a multi-worker session spins the pool up, and
+  every later batch reuses the warm workers (and their per-process
+  simulators and context caches);
+* session **defaults** (``model=``, ``engine=``, ``strategy=``,
+  ``processes=``, ``cache_size=``) applied by every verb unless
+  overridden per call.
+
+Every verb accepts a single item *or* an iterable and auto-dispatches:
+single calls run in-process against the session caches; iterables go
+through the campaign runtime on the session's warm pool (or the serial
+fallback, which shares the same caches).  All results conform to the
+:class:`repro.report.Report` protocol, so batch outputs serialize
+uniformly.
+
+Usage::
+
+    from repro import Session
+
+    with Session(model="power", processes="auto") as session:
+        session.verdict(test)                  # "Allow" / "Forbid"
+        session.repair(tests)                  # CampaignResult (warm pool)
+        session.sweep(tests, model="arm")      # FamilySweep (contexts reused)
+        session.observe(tests)                 # CampaignReport (chips inferred)
+        print(session.stats())                 # cache hit counters
+
+The module-level verbs (:func:`simulate`, :func:`verdict`, ...) are
+thin wrappers over one process-wide default session (serial, so it
+never spawns workers behind your back); they are what
+``from repro import simulate`` gives you.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.campaign import CampaignPool, ContextCache, worker_count
+from repro.herd.simulator import (
+    ModelLike,
+    SimulationResult,
+    Simulator,
+    resolve_model,
+)
+from repro.litmus.ast import LitmusTest
+
+__all__ = [
+    "Session",
+    "default_session",
+    "simulate",
+    "verdict",
+    "repair",
+    "observe",
+    "sweep",
+    "analyse",
+    "verify",
+]
+
+
+class Session:
+    """A stateful front door over the simulate/repair/observe/sweep/
+    analyse/verify drivers, owning their shared state.
+
+    ``model`` is the default model of every verb (a name, an
+    :class:`~repro.core.model.Architecture`, a resolved model or a
+    cat-interpreted model); ``engine`` defaults the enumeration engine
+    of the simulation verbs (``simulate``/``verdict``/``sweep``;
+    ``repair``/``observe``/``verify`` always use their drivers' own
+    engine choice); ``strategy`` defaults the fence-placement
+    strategy; ``processes``
+    (``None`` for serial, an int, or ``"auto"`` for one worker per
+    core) sizes the campaign pool batch verbs fan out on;
+    ``cache_size`` bounds the shared context cache (``None`` for
+    unbounded).  Sessions are context managers — leaving the ``with``
+    block shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        model: ModelLike = "power",
+        engine: str = "auto",
+        strategy: str = "greedy",
+        processes=None,
+        cache_size: Optional[int] = 256,
+    ):
+        self.model = model
+        self.engine = engine
+        self.strategy = strategy
+        self.processes = processes
+        self.context_cache = ContextCache(capacity=cache_size)
+        #: (model name, strategy, cycle signature) -> mechanism seed,
+        #: shared by every repair of the session (see repro.fences.campaign).
+        self.cycle_cache: Dict = {}
+        self._models: Dict[str, Any] = {}
+        self._model_hits = 0
+        self._model_misses = 0
+        self._simulators: Dict = {}
+        self._checkers: Dict = {}
+        self._pool: Optional[CampaignPool] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the campaign pool down (the caches survive; a later
+        batch verb restarts the pool lazily)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- shared state -------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """The effective worker count of this session's ``processes``."""
+        return worker_count(self.processes)
+
+    def resolve(self, model: Optional[ModelLike] = None):
+        """Resolve a model-like value (default: the session model),
+        memoizing resolutions by name."""
+        spec = self.model if model is None else model
+        if isinstance(spec, str):
+            key = spec.lower()
+            cached = self._models.get(key)
+            if cached is not None:
+                self._model_hits += 1
+                return cached
+            self._model_misses += 1
+            resolved = resolve_model(spec)
+            self._models[key] = resolved
+            return resolved
+        return resolve_model(spec)
+
+    def simulator(
+        self, model: Optional[ModelLike] = None, engine: Optional[str] = None
+    ) -> Simulator:
+        """This session's simulator for a model (memoized by name)."""
+        engine = self.engine if engine is None else engine
+        spec = self.model if model is None else model
+        if isinstance(spec, str):
+            key = (spec.lower(), engine)
+            simulator = self._simulators.get(key)
+            if simulator is None:
+                simulator = Simulator(self.resolve(spec), engine=engine)
+                self._simulators[key] = simulator
+            return simulator
+        return Simulator(self.resolve(spec), engine=engine)
+
+    def checker(
+        self, model: Optional[ModelLike] = None, backend: str = "axiomatic"
+    ):
+        """This session's bounded model checker (memoized by name)."""
+        from repro.verification.bmc import BoundedModelChecker
+
+        spec = self.model if model is None else model
+        if isinstance(spec, str):
+            key = (spec.lower(), backend)
+            checker = self._checkers.get(key)
+            if checker is None:
+                checker = BoundedModelChecker(spec, backend)
+                self._checkers[key] = checker
+            return checker
+        return BoundedModelChecker(spec, backend)
+
+    def pool(self) -> Optional[CampaignPool]:
+        """The session's campaign pool, started lazily — or ``None``
+        when the session is serial (``processes`` of ``None``/``1``, or
+        ``"auto"`` on a single-core machine)."""
+        if self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = CampaignPool(self.processes)
+        return self._pool
+
+    def _dispatch(self, model: Optional[ModelLike]):
+        """How a batch verb should run: ``(model argument, pool)``.
+
+        Multi-worker sessions ship the model *name* plus the warm pool,
+        so workers re-hydrate and memoize it per process; serial
+        sessions (and unpicklable custom models) pass the resolved
+        model object and run in-process on the session caches.
+        """
+        spec = self.model if model is None else model
+        if isinstance(spec, str) and self.workers > 1:
+            return spec, self.pool()
+        return self.resolve(spec), None
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache and pool counters (all JSON-plain)."""
+        return {
+            "model_cache": {
+                "entries": len(self._models),
+                "hits": self._model_hits,
+                "misses": self._model_misses,
+            },
+            "context_cache": self.context_cache.stats(),
+            "cycle_cache": {"entries": len(self.cycle_cache)},
+            "simulators": len(self._simulators),
+            "checkers": len(self._checkers),
+            "pool": {
+                "processes": self.processes,
+                "workers": self.workers,
+                "started": self._pool is not None,
+            },
+        }
+
+    # -- verbs --------------------------------------------------------------------
+
+    def simulate(
+        self,
+        tests: Union[LitmusTest, Sequence[LitmusTest]],
+        model: Optional[ModelLike] = None,
+        engine: Optional[str] = None,
+        *,
+        keep_candidates: bool = False,
+        stop_at_first_violation: bool = True,
+        until: Optional[str] = None,
+    ) -> Union[SimulationResult, List[SimulationResult]]:
+        """Full simulation summaries — one result per test.
+
+        A single test runs in-process on the session caches; an
+        iterable is sharded over the warm pool (full summaries pickle
+        fine), except for ``keep_candidates`` queries, which stay
+        serial so the candidate objects never cross a process boundary.
+        """
+        if isinstance(tests, LitmusTest):
+            return self._simulate_one(
+                tests, model, engine, keep_candidates, stop_at_first_violation, until
+            )
+        batch = list(tests)
+        spec = self.model if model is None else model
+        if (
+            isinstance(spec, str)
+            and self.workers > 1
+            and len(batch) > 1
+            and not keep_candidates
+            and stop_at_first_violation
+        ):
+            from repro.campaign.jobs import SimulateJob, simulate_chunk
+
+            effective = self.engine if engine is None else engine
+            jobs = [SimulateJob(test, spec, effective, until) for test in batch]
+            return self.pool().run(simulate_chunk, jobs)
+        simulator = self.simulator(model, engine)
+        return [
+            simulator.run(
+                test,
+                keep_candidates=keep_candidates,
+                stop_at_first_violation=stop_at_first_violation,
+                until=until,
+                context=None if keep_candidates else self.context_cache.get(test),
+            )
+            for test in batch
+        ]
+
+    def _simulate_one(
+        self, test, model, engine, keep_candidates, stop_at_first_violation, until
+    ) -> SimulationResult:
+        simulator = self.simulator(model, engine)
+        context = None if keep_candidates else self.context_cache.get(test)
+        return simulator.run(
+            test,
+            keep_candidates=keep_candidates,
+            stop_at_first_violation=stop_at_first_violation,
+            until=until,
+            context=context,
+        )
+
+    def verdict(
+        self,
+        tests: Union[LitmusTest, Sequence[LitmusTest]],
+        model: Optional[ModelLike] = None,
+        engine: Optional[str] = None,
+    ) -> Union[str, List[str]]:
+        """Allow/Forbid of the target outcome (the early-exit fast path).
+
+        A single test returns one verdict string; an iterable returns
+        the verdicts in order (dispatched through :meth:`sweep`, i.e.
+        the campaign runtime on the warm pool).
+        """
+        if isinstance(tests, LitmusTest):
+            simulator = self.simulator(model, engine)
+            return simulator.verdict(tests, context=self.context_cache.get(tests))
+        swept = self.sweep(tests, model=model, engine=engine)
+        return [test_verdict for _, test_verdict in swept.verdicts]
+
+    def sweep(
+        self,
+        tests: Union[LitmusTest, Sequence[LitmusTest]],
+        model: Optional[ModelLike] = None,
+        engine: Optional[str] = None,
+    ):
+        """Verdicts of a whole family under one model (a
+        :class:`~repro.diy.families.FamilySweep`)."""
+        from repro.diy.families import sweep_family
+
+        batch = [tests] if isinstance(tests, LitmusTest) else list(tests)
+        model_arg, pool = self._dispatch(model)
+        return sweep_family(
+            batch,
+            model_arg,
+            processes=self.processes,
+            engine=self.engine if engine is None else engine,
+            context_cache=self.context_cache,
+            pool=pool,
+        )
+
+    def repair(
+        self,
+        tests: Union[LitmusTest, Sequence[LitmusTest]],
+        model: Optional[ModelLike] = None,
+        strategy: Optional[str] = None,
+    ):
+        """Synthesize validated fences: one test yields a
+        :class:`~repro.fences.validate.RepairReport`, an iterable a
+        :class:`~repro.fences.campaign.CampaignResult`.
+
+        Every repair of the session shares one cycle-signature memo and
+        the context cache, so repairing families batch by batch keeps
+        the seeds (and the interned tests) warm.
+        """
+        strategy = self.strategy if strategy is None else strategy
+        if isinstance(tests, LitmusTest):
+            from repro.fences.campaign import repair_one
+
+            return repair_one(
+                tests,
+                self.resolve(model),
+                self.cycle_cache,
+                context_cache=self.context_cache,
+                strategy=strategy,
+            )
+        from repro.fences.campaign import repair_family
+
+        model_arg, pool = self._dispatch(model)
+        return repair_family(
+            list(tests),
+            model_arg,
+            processes=self.processes,
+            cache=self.cycle_cache,
+            context_cache=self.context_cache,
+            pool=pool,
+            strategy=strategy,
+        )
+
+    def observe(
+        self,
+        tests: Union[LitmusTest, Sequence[LitmusTest]],
+        chips=None,
+        model: Optional[ModelLike] = None,
+        iterations: int = 1_000_000,
+        seed: int = 2014,
+    ):
+        """Run tests on a (simulated) chip population and compare with
+        the model: one test yields an
+        :class:`~repro.hardware.testing.ObservedTest`, an iterable a
+        :class:`~repro.hardware.testing.CampaignReport`.
+
+        ``chips=None`` infers the default population from the model
+        family (Power models observe the Power chips, ARM models the
+        ARM chips); RNG seeds are drawn exactly as
+        :func:`~repro.hardware.testing.run_campaign` draws them, so a
+        single-test observation equals the first row of a campaign.
+        """
+        if chips is None:
+            chips = self._default_chips(model)
+        if isinstance(tests, LitmusTest):
+            from repro.hardware.testing import observe_test
+
+            rng = random.Random(seed)
+            seeds = tuple(rng.randint(0, 2**31) for _ in chips)
+            return observe_test(
+                self.simulator(model),
+                tests,
+                chips,
+                iterations,
+                seeds,
+                context_cache=self.context_cache,
+            )
+        from repro.hardware.testing import run_campaign
+
+        model_arg, pool = self._dispatch(model)
+        return run_campaign(
+            list(tests),
+            chips,
+            model_arg,
+            iterations=iterations,
+            seed=seed,
+            processes=self.processes,
+            context_cache=self.context_cache,
+            pool=pool,
+        )
+
+    def _default_chips(self, model: Optional[ModelLike]):
+        resolved = self.resolve(model)
+        name = str(getattr(resolved, "name", resolved)).lower()
+        if "arm" in name:
+            from repro.hardware.chips import default_arm_chips
+
+            return default_arm_chips()
+        if "power" in name:
+            from repro.hardware.chips import default_power_chips
+
+            return default_power_chips()
+        raise ValueError(
+            f"no default chip population for model {name!r}; pass chips="
+        )
+
+    def analyse(self, programs, max_cycle_length: int = 6):
+        """Run the mole static cycle analysis: one program yields a
+        :class:`~repro.mole.report.MoleReport`, a mapping (package name
+        -> programs) a per-package report dictionary, any other
+        iterable a list of per-program reports — batches sharded over
+        the session pool."""
+        from repro.verification.program import Program
+
+        if isinstance(programs, Program):
+            from repro.mole.report import analyse_program
+
+            return analyse_program(programs, max_cycle_length)
+        if isinstance(programs, Mapping):
+            from repro.mole.report import analyse_corpus
+
+            return analyse_corpus(
+                programs,
+                max_cycle_length,
+                processes=self.processes,
+                pool=self.pool(),
+            )
+        batch = list(programs)
+        pool = self.pool()
+        if pool is not None and len(batch) > 1:
+            from repro.campaign.jobs import MoleJob, mole_chunk
+            from repro.mole.report import MoleReport
+
+            jobs = [
+                MoleJob(program.name, (program,), max_cycle_length)
+                for program in batch
+            ]
+            return [
+                MoleReport(name=name, cycles=cycles)
+                for name, cycles in pool.run(mole_chunk, jobs, chunk_size=2)
+            ]
+        from repro.mole.report import analyse_program
+
+        return [analyse_program(program, max_cycle_length) for program in batch]
+
+    def verify(
+        self,
+        items,
+        model: Optional[ModelLike] = None,
+        backend: str = "axiomatic",
+    ):
+        """Bounded model checking: one program or litmus test yields a
+        :class:`~repro.verification.bmc.VerificationResult`, an
+        iterable a list of results (sharded over the session pool)."""
+        from repro.verification.program import Program
+
+        if isinstance(items, (Program, LitmusTest)):
+            checker = self.checker(model, backend)
+            if isinstance(items, Program):
+                return checker.verify(items)
+            return checker.verify_litmus(items)
+        from repro.verification.bmc import verify_batch
+
+        model_arg, pool = self._dispatch(model)
+        return verify_batch(
+            list(items),
+            model_arg,
+            backend=backend,
+            processes=self.processes,
+            pool=pool,
+        )
+
+
+# -- the process-wide default session ---------------------------------------------
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide default session behind the module-level verbs.
+
+    Serial by construction (``processes=None``): the module-level API
+    never spawns worker processes implicitly.  Build your own
+    :class:`Session` for pooled batches.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def simulate(tests, model=None, engine=None, **kwargs):
+    """:meth:`Session.simulate` on the default session."""
+    return default_session().simulate(tests, model=model, engine=engine, **kwargs)
+
+
+def verdict(tests, model=None, engine=None):
+    """:meth:`Session.verdict` on the default session."""
+    return default_session().verdict(tests, model=model, engine=engine)
+
+
+def repair(tests, model=None, strategy=None):
+    """:meth:`Session.repair` on the default session."""
+    return default_session().repair(tests, model=model, strategy=strategy)
+
+
+def observe(tests, chips=None, model=None, iterations: int = 1_000_000, seed: int = 2014):
+    """:meth:`Session.observe` on the default session."""
+    return default_session().observe(
+        tests, chips=chips, model=model, iterations=iterations, seed=seed
+    )
+
+
+def sweep(tests, model=None, engine=None):
+    """:meth:`Session.sweep` on the default session."""
+    return default_session().sweep(tests, model=model, engine=engine)
+
+
+def analyse(programs, max_cycle_length: int = 6):
+    """:meth:`Session.analyse` on the default session."""
+    return default_session().analyse(programs, max_cycle_length=max_cycle_length)
+
+
+def verify(items, model=None, backend: str = "axiomatic"):
+    """:meth:`Session.verify` on the default session."""
+    return default_session().verify(items, model=model, backend=backend)

@@ -53,6 +53,7 @@ from repro.herd.enumerate import (
 from repro.litmus.ast import LitmusTest
 from repro.multi_event import MultiEventModel
 from repro.operational import IntermediateMachine
+from repro.report import JsonReportMixin
 from repro.verification.program import Program
 from repro.verification.semantics import ProgramPath, enumerate_program_paths
 
@@ -60,7 +61,7 @@ BACKENDS = ("axiomatic", "multi-event", "operational")
 
 
 @dataclass
-class VerificationResult:
+class VerificationResult(JsonReportMixin):
     """Outcome of one verification run."""
 
     name: str
@@ -80,6 +81,22 @@ class VerificationResult:
             f"({self.candidates_explored} candidates, {self.allowed_executions} allowed, "
             f"{self.elapsed_seconds:.3f}s)"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-plain summary (the counterexample appears as a flag —
+        candidate executions do not serialize)."""
+        return {
+            "type": "verification",
+            "name": self.name,
+            "model": self.model_name,
+            "backend": self.backend,
+            "safe": self.safe,
+            "has_counterexample": self.counterexample is not None,
+            "violated_assertion": self.violated_assertion,
+            "candidates_explored": self.candidates_explored,
+            "allowed_executions": self.allowed_executions,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
 
 
 class BoundedModelChecker:

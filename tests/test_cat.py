@@ -161,3 +161,52 @@ def test_fig38_power_cat_equals_builtin_power_on_named_tests():
         assert (
             simulate(test, cat_power).verdict == simulate(test, "power").verdict
         ), name
+
+
+# -- stdlib memoization --------------------------------------------------------
+
+
+def test_load_builtin_model_parses_once_per_name():
+    from repro.cat import clear_model_cache, load_stats
+
+    clear_model_cache()
+    try:
+        first = load_builtin_model("power")
+        stats = load_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = load_builtin_model("power")
+        stats = load_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        # Fresh wrapper objects over one shared (frozen) program.
+        assert first is not second
+        assert first.program is second.program
+        assert second.name == "power"
+    finally:
+        clear_model_cache()
+
+
+def test_cached_builtin_models_cannot_be_corrupted_by_callers():
+    from repro.cat import clear_model_cache
+
+    clear_model_cache()
+    try:
+        tampered = load_builtin_model("tso")
+        tampered.program = None  # a hostile caller mutates its copy...
+        reloaded = load_builtin_model("tso")
+        assert reloaded.program is not None  # ...the cache never sees it
+        assert simulate(get_test("sb"), reloaded).verdict == "Allow"
+        # The program itself is frozen: its fields cannot be rebound.
+        with pytest.raises(AttributeError):
+            reloaded.program.name = "evil"
+    finally:
+        clear_model_cache()
+
+
+def test_builtin_model_source_is_memoized_and_consistent():
+    from repro.cat import clear_model_cache
+
+    clear_model_cache()
+    try:
+        assert builtin_model_source("arm") is builtin_model_source("arm")
+    finally:
+        clear_model_cache()

@@ -1,0 +1,112 @@
+"""The uniform Report protocol: every result type the toolbox produces
+implements ``describe``/``to_dict``/``to_json``, ``to_dict`` is
+JSON-plain (``json.loads(r.to_json()) == r.to_dict()`` exactly), and
+verdict-bearing results expose ``verdict``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.diy.families import (
+    compare_placement_costs,
+    sweep_family,
+    two_thread_family,
+)
+from repro.fences.campaign import repair_family
+from repro.fences.validate import repair_test
+from repro.hardware.chips import default_power_chips
+from repro.hardware.testing import run_campaign
+from repro.herd.simulator import simulate
+from repro.litmus.registry import get_test
+from repro.mole.corpus import debian_corpus
+from repro.mole.report import analyse_corpus
+from repro.report import Report, plain
+from repro.verification.bmc import verify_litmus
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One instance of every result type, built once for the module."""
+    mp = get_test("mp")
+    family = two_thread_family("power", limit=6)
+    chips = default_power_chips()
+    corpus = debian_corpus()
+    campaign = run_campaign([mp, get_test("sb")], chips, "power", iterations=10_000)
+    built = {
+        "simulation": simulate(mp, "power"),
+        "repair": repair_test(mp, "power"),
+        "repair-campaign": repair_family(family[:4], "power"),
+        "observed-test": campaign.results[0],
+        "hardware-campaign": campaign,
+        "mole-census": analyse_corpus({"postgresql": corpus["postgresql"]})["postgresql"],
+        "family-sweep": sweep_family(family, "power"),
+        "cost-comparison": compare_placement_costs(family[:4], "power"),
+        "verification": verify_litmus(mp, "power"),
+    }
+    return built
+
+
+def test_every_result_type_conforms_to_the_protocol(reports):
+    for name, report in reports.items():
+        assert isinstance(report, Report), name
+        description = report.describe()
+        assert isinstance(description, str) and description, name
+
+
+def test_to_dict_round_trips_through_json_exactly(reports):
+    for name, report in reports.items():
+        as_dict = report.to_dict()
+        assert json.loads(report.to_json()) == as_dict, name
+        # The dictionary is already JSON-plain: coercion is a no-op.
+        assert plain(as_dict) == as_dict, name
+        assert as_dict["type"] == name
+
+
+def test_to_json_is_deterministic_and_indentable(reports):
+    for report in reports.values():
+        assert report.to_json() == report.to_json()
+        assert json.loads(report.to_json(indent=2)) == report.to_dict()
+
+
+def test_verdict_bearing_reports_expose_their_verdict(reports):
+    assert reports["simulation"].verdict in ("Allow", "Forbid")
+    assert reports["simulation"].to_dict()["verdict"] == reports["simulation"].verdict
+    assert reports["repair"].verdict == reports["repair"].after_verdict
+    assert reports["observed-test"].verdict == reports["observed-test"].model_verdict
+
+
+def test_dict_content_matches_the_live_objects(reports):
+    simulation = reports["simulation"]
+    as_dict = simulation.to_dict()
+    assert as_dict["num_candidates"] == simulation.num_candidates
+    assert len(as_dict["allowed_outcomes"]) == len(simulation.allowed_outcomes)
+
+    campaign = reports["repair-campaign"]
+    assert campaign.to_dict()["num_repaired"] == campaign.num_repaired
+    assert len(campaign.to_dict()["reports"]) == campaign.num_tests
+
+    census = reports["mole-census"]
+    assert census.to_dict()["patterns"] == census.patterns()
+
+    swept = reports["family-sweep"]
+    assert swept.to_dict()["verdicts"] == [list(row) for row in swept.verdicts]
+
+    verification = reports["verification"]
+    assert verification.to_dict()["safe"] == verification.safe
+
+    observed = reports["observed-test"]
+    per_chip = observed.to_dict()["observed_outcomes"]
+    assert set(per_chip) == set(observed.observed_outcomes)
+    for chip, counts in observed.observed_outcomes.items():
+        assert sum(per_chip[chip].values()) == sum(counts.values())
+
+
+def test_plain_coerces_arbitrary_structures():
+    assert plain((1, 2)) == [1, 2]
+    assert plain(frozenset({("a", 1)})) == [["a", 1]]
+    assert plain({1: {"x"}}) == {"1": ["x"]}
+    assert plain(None) is None
+    assert isinstance(plain(object()), str)
