@@ -1,0 +1,110 @@
+"""Telemetry's zero-overhead contract: the disabled path must be free.
+
+Not a paper table: this benchmark pins the cost model of
+:mod:`repro.telemetry`.  The instrumented layers guard every emission
+on ``telemetry._ACTIVE is None`` and accumulate hot-loop statistics in
+local integers, so a process that never enables telemetry must pay
+nothing measurable:
+
+* **guard microbench** — the per-call cost of the disabled module verbs
+  (``count``/``observe``/``span``), which is one global read and one
+  ``is None`` test;
+* **workload A/B** — the warm-session verdict sweep of
+  ``bench_session.py`` timed twice with telemetry disabled: the spread
+  between the two runs is the machine's noise floor, and the claim is
+  that instrumentation sits *under* it (there is no uninstrumented
+  build to diff against, so disabled-vs-disabled bounds the noise and
+  the guard microbench bounds the cost);
+* **enabled run** — the same sweep with a registry installed, recording
+  the real price of switching telemetry on (expected: a few percent;
+  tracked, not gated).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro import Session, telemetry
+from repro.litmus.registry import all_tests
+
+MODELS = ("power", "arm", "tso", "arm-llh")
+GUARD_CALLS = 200_000
+
+
+def _guard_cost_ns() -> dict:
+    """Per-call cost of the disabled module verbs, in nanoseconds."""
+    assert not telemetry.enabled()
+    count, span = telemetry.count, telemetry.span
+
+    start = time.perf_counter()
+    for _ in range(GUARD_CALLS):
+        count("bench.noop")
+    count_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(GUARD_CALLS):
+        with span("bench.noop"):
+            pass
+    span_seconds = time.perf_counter() - start
+
+    return {
+        "guard_calls": GUARD_CALLS,
+        "count_ns_per_call": count_seconds / GUARD_CALLS * 1e9,
+        "span_ns_per_call": span_seconds / GUARD_CALLS * 1e9,
+    }
+
+
+def _sweep_seconds(enable_telemetry: bool, repeats: int = 3) -> float:
+    """Best-of-N wall time of the warm-session verdict sweep."""
+    best = float("inf")
+    for _ in range(repeats):
+        with Session(model="power", telemetry=enable_telemetry) as session:
+            tests = all_tests()
+            start = time.perf_counter()
+            for model in MODELS:
+                session.verdict(tests, model=model)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _overhead_stats() -> dict:
+    stats = _guard_cost_ns()
+
+    _sweep_seconds(enable_telemetry=False, repeats=1)  # warm the process up
+    disabled_a = _sweep_seconds(enable_telemetry=False)
+    disabled_b = _sweep_seconds(enable_telemetry=False)
+    enabled = _sweep_seconds(enable_telemetry=True)
+
+    noise_floor = abs(disabled_a - disabled_b) / min(disabled_a, disabled_b)
+    enabled_overhead = (enabled - min(disabled_a, disabled_b)) / min(
+        disabled_a, disabled_b
+    )
+    stats.update(
+        {
+            "disabled_a_seconds": disabled_a,
+            "disabled_b_seconds": disabled_b,
+            "enabled_seconds": enabled,
+            "disabled_noise_fraction": noise_floor,
+            "enabled_overhead_fraction": enabled_overhead,
+        }
+    )
+    return stats
+
+
+def test_disabled_telemetry_is_overhead_free(benchmark):
+    stats = run_once(benchmark, _overhead_stats)
+    benchmark.extra_info.update(
+        {k: (round(v, 6) if isinstance(v, float) else v) for k, v in stats.items()}
+    )
+
+    # The disabled guard is one global read + `is None`: far under a
+    # microsecond per call even on slow CI hardware.
+    assert stats["count_ns_per_call"] < 1_000
+    assert stats["span_ns_per_call"] < 2_000
+    # Two disabled runs of the same workload differ only by machine
+    # noise; the bound is deliberately loose for shared CI runners.
+    assert stats["disabled_noise_fraction"] < 0.25
+    # Enabling telemetry on this sweep must stay cheap (tracked in the
+    # artifacts; the gate only catches something pathological).
+    assert stats["enabled_overhead_fraction"] < 0.50

@@ -9,6 +9,15 @@ than ``threshold`` (default 20%) slower in CURRENT than in BASELINE,
 measured on the mean. Benchmarks present in only one file are reported
 but never fail the comparison (new benchmarks appear, old ones retire).
 
+A missing baseline file, or a benchmark entry without usable
+``stats``/``mean`` keys, is skipped with a warning rather than crashing
+the job: a freshly added benchmark suite has no committed baseline yet,
+and that must not fail CI.  When a regression *is* flagged, every
+numeric ``extra_info`` metric the two records share is printed as a
+per-metric delta table — so a timing regression arrives with the
+counter evidence (cache hits, validation counts, worker utilization)
+needed to tell an algorithmic regression from machine noise.
+
 The committed ``BENCH_*.json`` baselines were recorded with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_table9_simulation_speed.py \
@@ -25,16 +34,43 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict
 
 
-def load_means(path: str) -> Dict[str, float]:
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def load_benchmarks(path: str) -> Dict[str, Dict]:
+    """name -> {"mean": float, "extra_info": dict} for one benchmark file.
+
+    Entries without a usable ``stats.mean`` are skipped with a warning
+    (a malformed or hand-edited record must not crash the comparison).
+    """
     with open(path) as handle:
         data = json.load(handle)
-    return {
-        bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
-    }
+    records: Dict[str, Dict] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name")
+        if name is None:
+            _warn(f"{path}: benchmark entry without a name, skipped")
+            continue
+        mean = bench.get("stats", {}).get("mean")
+        if not isinstance(mean, (int, float)):
+            _warn(f"{path}: {name} has no stats.mean, skipped")
+            continue
+        records[name] = {
+            "mean": float(mean),
+            "extra_info": bench.get("extra_info") or {},
+        }
+    return records
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Backcompat: name -> mean seconds (see :func:`load_benchmarks`)."""
+    return {name: record["mean"] for name, record in load_benchmarks(path).items()}
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float], threshold: float):
@@ -61,6 +97,40 @@ def compare(baseline: Dict[str, float], current: Dict[str, float], threshold: fl
     return rows, regressions
 
 
+def _numeric_extra_info(record: Dict) -> Dict[str, float]:
+    return {
+        key: float(value)
+        for key, value in record.get("extra_info", {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def metric_deltas(base_record: Dict, cur_record: Dict):
+    """(metric, base, current, delta_fraction) rows for the numeric
+    ``extra_info`` metrics two benchmark records share."""
+    base_metrics = _numeric_extra_info(base_record)
+    cur_metrics = _numeric_extra_info(cur_record)
+    rows = []
+    for key in sorted(set(base_metrics) & set(cur_metrics)):
+        base, cur = base_metrics[key], cur_metrics[key]
+        delta = (cur - base) / base if base else None
+        rows.append((key, base, cur, delta))
+    return rows
+
+
+def print_metric_deltas(name: str, base_record: Dict, cur_record: Dict) -> None:
+    rows = metric_deltas(base_record, cur_record)
+    if not rows:
+        print("    (no shared numeric extra_info metrics)", file=sys.stderr)
+        return
+    for key, base, cur, delta in rows:
+        delta_s = f"{delta:+7.1%}" if delta is not None else "      -"
+        print(
+            f"    {delta_s}  {base:>12.4g} -> {cur:>12.4g}  {key}",
+            file=sys.stderr,
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline benchmark JSON")
@@ -73,8 +143,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if not os.path.exists(args.baseline):
+        _warn(f"baseline {args.baseline} does not exist; comparison skipped")
+        return 0
+    if not os.path.exists(args.current):
+        _warn(f"current {args.current} does not exist; nothing to compare")
+        return 1
+
+    base_records = load_benchmarks(args.baseline)
+    cur_records = load_benchmarks(args.current)
+    if not base_records:
+        _warn(f"baseline {args.baseline} holds no usable benchmarks; skipped")
+        return 0
+
     rows, regressions = compare(
-        load_means(args.baseline), load_means(args.current), args.threshold
+        {name: record["mean"] for name, record in base_records.items()},
+        {name: record["mean"] for name, record in cur_records.items()},
+        args.threshold,
     )
     for name, base, cur, ratio, status in rows:
         base_s = f"{base:.4f}s" if base is not None else "-"
@@ -93,6 +178,7 @@ def main(argv=None) -> int:
                 f"  {name}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x)",
                 file=sys.stderr,
             )
+            print_metric_deltas(name, base_records[name], cur_records[name])
         return 1
     print(f"\nno regressions beyond {args.threshold:.0%}")
     return 0

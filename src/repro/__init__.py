@@ -25,6 +25,9 @@ The package is organised around the paper's artefacts:
   per-architecture cost tables, validated against the herd simulator;
 * :mod:`repro.campaign` — the shared batch runtime: process sharding,
   per-test simulation contexts, persistent worker pools;
+* :mod:`repro.telemetry` — observability: counters, gauges, histogram
+  timers, structured spans and unified cache statistics, aggregated
+  across campaign worker processes;
 * :mod:`repro.session` — the one front door: a stateful
   :class:`~repro.session.Session` owning models, caches, pools and
   defaults for every driver.
@@ -63,6 +66,10 @@ _EXPORTS = {
     "verify": "repro.session",
     # the uniform result protocol
     "Report": "repro.report",
+    # observability (see repro.telemetry)
+    "Metrics": "repro.telemetry",
+    "MetricsSnapshot": "repro.telemetry",
+    "CacheStats": "repro.telemetry",
     # the shared campaign runtime
     "CampaignPool": "repro.campaign",
     "ContextCache": "repro.campaign",

@@ -156,27 +156,41 @@ class ContextCache:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Fingerprint, SimulationContext]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        from repro.telemetry import CacheStats
+
+        #: counters on the unified interface; ``hits``/``misses``/
+        #: ``evictions`` remain readable as attributes (backcompat).
+        self._stats = CacheStats("context", entries=lambda: len(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._stats.evictions
 
     def get(self, test: LitmusTest) -> SimulationContext:
         """The context of *test*, building (and caching) it on a miss."""
         key = test_fingerprint(test)
         context = self._entries.get(key)
         if context is not None:
-            self.hits += 1
+            self._stats.hit()
             self._entries.move_to_end(key)
             return context
-        self.misses += 1
+        self._stats.miss()
         context = SimulationContext(test)
         self._entries[key] = context
         if self.capacity is not None and len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._stats.evict()
         return context
 
     def invalidate(self, test: LitmusTest) -> bool:
@@ -186,10 +200,15 @@ class ContextCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def cache_stats(self):
+        """The cache's :class:`repro.telemetry.CacheStats`."""
+        return self._stats
+
     def stats(self) -> Dict[str, int]:
+        """Backcompat probe: the pre-telemetry dictionary shape."""
         return {
             "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
+            "hits": self._stats.hits,
+            "misses": self._stats.misses,
+            "evictions": self._stats.evictions,
         }

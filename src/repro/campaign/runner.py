@@ -31,13 +31,51 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro import telemetry as _telemetry
+from repro.telemetry.metrics import Metrics
 
 #: Default number of jobs per shard; small enough to balance uneven job
 #: costs, large enough to amortize pickling and scheduling.
 DEFAULT_CHUNK_SIZE = 8
 
 Processes = Union[None, int, str]
+
+
+def _instrumented_chunk(
+    worker: Callable[[List[Any], Any], Any],
+    chunk: List[Any],
+    payload: Any,
+    submitted: float,
+) -> Tuple[Any, Any]:
+    """Run one chunk under a fresh telemetry registry and snapshot it.
+
+    The cross-process aggregation seam: when the parent has telemetry
+    enabled, every shard runs through this wrapper — in a worker process
+    *or* in-process on the serial fallback, so sharded and serial runs
+    produce identical per-chunk snapshots by construction.  The fresh
+    registry is installed for the duration of the chunk (shadowing any
+    registry a forked worker inherited, which would otherwise accumulate
+    invisibly in the child), the chunk's wall time and queue wait are
+    recorded into it, and the snapshot rides home next to the results
+    for the parent to merge in submission order.
+    """
+    started = time.time()
+    registry = Metrics()
+    previous = _telemetry._swap(registry)
+    try:
+        t0 = time.perf_counter()
+        outcome = worker(chunk, payload)
+        elapsed = time.perf_counter() - t0
+    finally:
+        _telemetry._swap(previous)
+    registry.count("campaign.chunks")
+    registry.count("campaign.jobs", len(chunk))
+    registry.observe("campaign.chunk_seconds", elapsed)
+    registry.observe("campaign.queue_wait_seconds", max(started - submitted, 0.0))
+    return outcome, registry.snapshot()
 
 
 def worker_count(processes: Processes = None) -> int:
@@ -81,29 +119,69 @@ def run_sharded(
     as chunks complete (the fence campaign merges worker-local memo
     caches this way).  ``pool`` reuses an open :class:`CampaignPool`
     instead of spinning a fresh one.
+
+    When a telemetry registry is active in the calling process, every
+    shard runs through :func:`_instrumented_chunk`: chunk workers
+    snapshot a chunk-local registry (counters, spans, cache traffic,
+    chunk wall time and queue wait) and the parent folds the snapshots
+    back into its registry in submission order — so ``Session.stats()``
+    sees one coherent tree across process boundaries, and sharded
+    counter totals equal the serial run's.  With telemetry disabled
+    this path is byte-identical to the uninstrumented one.
     """
     jobs = list(jobs)
-    shards = [(chunk, payload) for chunk in chunked(jobs, chunk_size)]
-    if pool is not None:
-        outcomes = pool._starmap(worker, shards)
+    parent_registry = _telemetry._ACTIVE
+    batch_t0 = time.perf_counter()
+    if parent_registry is not None:
+        submitted = time.time()
+        shards = [
+            (worker, chunk, payload, submitted)
+            for chunk in chunked(jobs, chunk_size)
+        ]
+        run_worker: Callable = _instrumented_chunk
     else:
-        workers = worker_count(processes)
+        shards = [(chunk, payload) for chunk in chunked(jobs, chunk_size)]
+        run_worker = worker
+    if pool is not None:
+        effective_workers = pool.workers
+        outcomes = pool._starmap(run_worker, shards)
+    else:
+        effective_workers = worker_count(processes)
         # A single shard has no parallelism to win: run it in-process
         # rather than paying for a one-worker pool.
-        if workers <= 1 or len(shards) <= 1:
-            outcomes = [worker(chunk, chunk_payload) for chunk, chunk_payload in shards]
+        if effective_workers <= 1 or len(shards) <= 1:
+            outcomes = [run_worker(*shard) for shard in shards]
         else:
-            with multiprocessing.Pool(min(workers, len(shards))) as mp_pool:
-                outcomes = mp_pool.starmap(worker, shards, chunksize=1)
+            with multiprocessing.Pool(
+                min(effective_workers, len(shards))
+            ) as mp_pool:
+                outcomes = mp_pool.starmap(run_worker, shards, chunksize=1)
 
     results: List[Any] = []
+    busy_seconds = 0.0
     for outcome in outcomes:
+        if parent_registry is not None:
+            outcome, snapshot = outcome
+            busy_seconds += snapshot.histograms.get(
+                "campaign.chunk_seconds", {}
+            ).get("total", 0.0)
+            parent_registry.merge(snapshot)
         if merge is not None:
             chunk_results, extra = outcome
             merge(extra)
         else:
             chunk_results = outcome
         results.extend(chunk_results)
+    if parent_registry is not None:
+        batch_seconds = time.perf_counter() - batch_t0
+        parent_registry.count("campaign.batches")
+        parent_registry.observe("campaign.batch_seconds", batch_seconds)
+        workers_used = max(1, min(effective_workers, len(shards)))
+        if batch_seconds > 0:
+            parent_registry.set_gauge(
+                "campaign.worker_utilization",
+                min(1.0, busy_seconds / (batch_seconds * workers_used)),
+            )
     return results
 
 
@@ -141,10 +219,10 @@ class CampaignPool:
             self._pool = None
 
     def _starmap(
-        self, worker: Callable, shards: List[Tuple[List[Any], Any]]
+        self, worker: Callable, shards: List[Tuple[Any, ...]]
     ) -> List[Any]:
         if self.workers <= 1 or len(shards) <= 1:
-            return [worker(chunk, payload) for chunk, payload in shards]
+            return [worker(*shard) for shard in shards]
         if self._pool is None:
             self._pool = multiprocessing.Pool(self.workers)
         return self._pool.starmap(worker, shards, chunksize=1)

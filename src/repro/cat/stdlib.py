@@ -40,7 +40,22 @@ _BUILTIN_FILES: Dict[str, str] = {
 _SOURCE_CACHE: Dict[str, str] = {}
 #: name -> parsed (frozen) program, parsed once per process.
 _PROGRAM_CACHE: Dict[str, CatProgram] = {}
-_STATS = {"hits": 0, "misses": 0}
+
+
+def _make_stats():
+    from repro.telemetry import CacheStats
+
+    return CacheStats("cat_models", entries=lambda: len(_PROGRAM_CACHE))
+
+
+#: counters on the unified CacheStats interface (PR 6); ``load_stats``
+#: and ``clear_model_cache`` remain as thin backcompat wrappers.
+_STATS = _make_stats()
+
+
+def cache_stats():
+    """The parsed-model cache's :class:`repro.telemetry.CacheStats`."""
+    return _STATS
 
 
 def builtin_model_names() -> Tuple[str, ...]:
@@ -74,22 +89,28 @@ def load_builtin_model(name: str) -> CatModel:
     program = _PROGRAM_CACHE.get(name)
     if program is None:
         source = builtin_model_source(name)  # validates the name first
-        _STATS["misses"] += 1
+        _STATS.miss()
         program = parse_cat(source, name)
         _PROGRAM_CACHE[name] = program
     else:
-        _STATS["hits"] += 1
+        _STATS.hit()
     return CatModel(program)
 
 
 def load_stats() -> Dict[str, int]:
-    """Hit/miss counters of the parsed-model cache."""
-    return dict(_STATS, entries=len(_PROGRAM_CACHE))
+    """Backcompat probe: the parsed-model cache counters as a dict.
+
+    The same numbers live on the unified interface as
+    ``cache_stats().as_dict()``."""
+    return {
+        "hits": _STATS.hits,
+        "misses": _STATS.misses,
+        "entries": len(_PROGRAM_CACHE),
+    }
 
 
 def clear_model_cache() -> None:
     """Drop the cached sources and parsed programs (and the counters)."""
     _SOURCE_CACHE.clear()
     _PROGRAM_CACHE.clear()
-    _STATS["hits"] = 0
-    _STATS["misses"] = 0
+    _STATS.reset()

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import telemetry as _telemetry
 from repro.fences.placement import (
     FENCE_COSTS,
     PLACEMENT_STRATEGIES,
@@ -53,19 +54,29 @@ from repro.fences.placement import (
 #: Solved-instance memo: canonical signature -> (optimal cost, selection).
 _MEMO: Dict[Tuple, Tuple[float, Tuple[int, ...]]] = {}
 _MEMO_MAX = 4096
-_STATS = {"hits": 0, "misses": 0}
+#: The memo's counters on the unified CacheStats interface (PR 6); the
+#: pre-telemetry ``memo_stats``/``clear_memo`` probes remain as thin
+#: wrappers over it.
+_STATS = _telemetry.CacheStats("ilp_memo", entries=lambda: len(_MEMO))
 
 
 def memo_stats() -> Dict[str, int]:
-    """A copy of the solver-memo hit/miss counters."""
-    return dict(_STATS)
+    """Backcompat probe: the solver-memo counters as a plain dict.
+
+    The same numbers (plus hit rate) live on the unified interface as
+    ``cache_stats().as_dict()``."""
+    return {"hits": _STATS.hits, "misses": _STATS.misses, "entries": len(_MEMO)}
+
+
+def cache_stats() -> _telemetry.CacheStats:
+    """The solve memo's :class:`repro.telemetry.CacheStats`."""
+    return _STATS
 
 
 def clear_memo() -> None:
     """Drop all memoized instances and reset the counters (tests)."""
     _MEMO.clear()
-    _STATS["hits"] = 0
-    _STATS["misses"] = 0
+    _STATS.reset()
 
 
 @dataclass(frozen=True)
@@ -183,14 +194,21 @@ def solve_cover(
 
     best_cost = float("inf")
     best_selection: Tuple[int, ...] = ()
+    # Solver-effort statistics, published once per solve (telemetry).
+    nodes = 0
+    lp_prunes = 0
+    incumbents = 0
 
     def recurse(uncovered: FrozenSet[int], cost: float, chosen: Tuple[int, ...]):
-        nonlocal best_cost, best_selection
+        nonlocal best_cost, best_selection, nodes, lp_prunes, incumbents
+        nodes += 1
         if not uncovered:
             if cost < best_cost:
                 best_cost, best_selection = cost, chosen
+                incumbents += 1
             return
         if cost + lp_lower_bound(uncovered, variables, candidates) >= best_cost:
+            lp_prunes += 1
             return
         branch = min(uncovered, key=lambda ci: (len(candidates[ci]), ci))
         for vi in candidates[branch]:
@@ -202,6 +220,14 @@ def solve_cover(
             )
 
     recurse(coverable, 0.0, ())
+    registry = _telemetry._ACTIVE
+    if registry is not None:
+        registry.count("ilp.solves")
+        registry.count("ilp.bnb_nodes", nodes)
+        registry.count("ilp.lp_bound_prunes", lp_prunes)
+        registry.count("ilp.incumbent_updates", incumbents)
+        registry.count("ilp.constraints", num_constraints)
+        registry.count("ilp.variables", len(variables))
     return best_cost, best_selection
 
 
@@ -246,12 +272,13 @@ def plan_ilp_cover(delays: DelayMap, arch: str) -> List[Placement]:
     signature = _instance_signature(delays, keys, variables, arch)
     memoized = _MEMO.get(signature)
     if memoized is not None:
-        _STATS["hits"] += 1
+        _STATS.hit()
         _, selection = memoized
     else:
-        _STATS["misses"] += 1
+        _STATS.miss()
         _, selection = solve_cover(variables, len(keys))
         if len(_MEMO) >= _MEMO_MAX:
+            _STATS.evict(len(_MEMO))
             _MEMO.clear()
         _MEMO[signature] = (
             sum(variables[vi].cost for vi in selection),

@@ -178,6 +178,12 @@ def observe_test(
     share the test's memoized context when a ``context_cache`` is given
     (the context is model-independent).
     """
+    from repro import telemetry as _telemetry
+
+    registry = _telemetry._ACTIVE
+    if registry is not None:
+        registry.count("hardware.observations")
+        registry.count("hardware.chip_runs", len(chips))
     context = context_cache.get(test) if context_cache is not None else None
     model_result = simulator.run(test, context=context)
     observed: Dict[str, Dict[Outcome, int]] = {}

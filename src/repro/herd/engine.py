@@ -44,6 +44,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.core.bitrel import add_edge_closure, iter_bits, rows_closure
 from repro.core.events import Event
 from repro.herd.enumerate import (
@@ -116,6 +117,13 @@ class ComboPlan:
         self.total = context.total_candidates
         #: candidates skipped by pruning during the last `survivors()` walk.
         self.pruned = 0
+        #: statistics of the last `leaves()` walk (telemetry reads them):
+        #: rf source pairs examined, co orders examined, incremental
+        #: closure-edge insertions, surviving leaves yielded.
+        self.rf_candidates = 0
+        self.co_orders_tried = 0
+        self.closure_edge_ops = 0
+        self.survivors_count = 0
 
     # -- outcome universe ---------------------------------------------------------
 
@@ -223,9 +231,20 @@ class ComboPlan:
         witness the target.
         """
         self.pruned = 0
+        self.rf_candidates = 0
+        self.co_orders_tried = 0
+        self.closure_edge_ops = 0
+        self.survivors_count = 0
         context = self.context
         if context.reads and not context.feasible:
             return
+        # Hot-loop statistics accumulate in local integers (one add per
+        # event, negligible next to the O(n) closure updates they count)
+        # and are published once per walk, inside one telemetry guard.
+        rf_candidates = 0
+        co_orders_tried = 0
+        closure_edge_ops = 0
+        survivors = 0
         index = context.index
         ids = index.ids
         writes_mask = index.writes_mask
@@ -267,6 +286,7 @@ class ComboPlan:
         def co_walk(
             k: int, closure: List[int], chosen: List[Tuple[Event, ...]]
         ) -> Iterator["SurvivingLeaf"]:
+            nonlocal co_orders_tried, closure_edge_ops
             if k == num_locations:
                 if constant_outcome is not None:
                     outcome: Optional[Outcome] = constant_outcome
@@ -279,6 +299,7 @@ class ComboPlan:
                 )
                 return
             for order in co_orders[k]:
+                co_orders_tried += 1
                 branch = list(closure)
                 ok = True
                 for i in range(len(order) - 1):
@@ -288,6 +309,7 @@ class ComboPlan:
                         ok = False
                         break
                     add_edge_closure(branch, earlier, later)
+                    closure_edge_ops += 1
                     # Derived from-read edges: r reads `earlier`, which is
                     # now co-before `later`, so fr(r, later).
                     for rid in readers.get(earlier, ()):
@@ -295,6 +317,7 @@ class ComboPlan:
                             ok = False
                             break
                         add_edge_closure(branch, rid, later)
+                        closure_edge_ops += 1
                     if not ok:
                         break
                 if not ok:
@@ -305,6 +328,7 @@ class ComboPlan:
                 chosen.pop()
 
         def rf_walk(depth: int, closure: List[int]) -> Iterator["SurvivingLeaf"]:
+            nonlocal rf_candidates, closure_edge_ops
             if depth == num_reads:
                 yield from co_walk(0, closure, [])
                 return
@@ -312,6 +336,7 @@ class ComboPlan:
             rid = read_ids[depth]
             loc_writes = location_masks.get(read.location, 0) & writes_mask
             for write, wid in source_lists[depth]:
+                rf_candidates += 1
                 # Reading from the future: r already reaches w.
                 if closure[rid] >> wid & 1:
                     self.pruned += rf_suffix[depth + 1] * co_total
@@ -329,13 +354,33 @@ class ComboPlan:
                     continue
                 branch = list(closure)
                 add_edge_closure(branch, wid, rid)
+                closure_edge_ops += 1
                 assignment.append((write, read))
                 readers.setdefault(wid, []).append(rid)
                 yield from rf_walk(depth + 1, branch)
                 readers[wid].pop()
                 assignment.pop()
 
-        yield from rf_walk(0, list(self._base_closure))
+        try:
+            for leaf in rf_walk(0, list(self._base_closure)):
+                survivors += 1
+                yield leaf
+        finally:
+            # Publish even when the consumer breaks out early (the
+            # verdict fast path closes the generator on first witness):
+            # closing raises GeneratorExit through the yield above.
+            self.rf_candidates = rf_candidates
+            self.co_orders_tried = co_orders_tried
+            self.closure_edge_ops = closure_edge_ops
+            self.survivors_count = survivors
+            registry = _telemetry._ACTIVE
+            if registry is not None:
+                registry.count("engine.walks")
+                registry.count("engine.rf_candidates", rf_candidates)
+                registry.count("engine.co_orders_tried", co_orders_tried)
+                registry.count("engine.closure_edge_ops", closure_edge_ops)
+                registry.count("engine.survivors", survivors)
+                registry.count("engine.pruned_candidates", self.pruned)
 
 
 def plans(

@@ -50,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple, Union
 
+from repro import telemetry as _telemetry
 from repro.core.architectures import get_architecture
 from repro.core.model import Architecture, CheckResult, Model
 from repro.herd import engine as _engine
@@ -190,11 +191,33 @@ class Simulator:
             and not keep_candidates
             and variant is not None
         )
-        if use_pruning:
-            return self._run_pruning(test, variant, until, context)
-        return self._run_naive(
-            test, keep_candidates, stop_at_first_violation, until
-        )
+        registry = _telemetry._ACTIVE
+        if registry is None:
+            if use_pruning:
+                return self._run_pruning(test, variant, until, context)
+            return self._run_naive(
+                test, keep_candidates, stop_at_first_violation, until
+            )
+        # Telemetry enabled: every run is a trace span (name, model,
+        # engine, verdict-vs-full) plus per-engine counters.
+        engine_name = "pruning" if use_pruning else "naive"
+        with registry.span(
+            "herd.run",
+            test=test.name,
+            model=self.model_name,
+            engine=engine_name,
+            mode="verdict" if until == "target" else "full",
+        ):
+            if use_pruning:
+                result = self._run_pruning(test, variant, until, context)
+            else:
+                result = self._run_naive(
+                    test, keep_candidates, stop_at_first_violation, until
+                )
+        registry.count(f"herd.runs.{engine_name}")
+        if until == "target":
+            registry.count("herd.verdict_queries")
+        return result
 
     def verdict(self, test: LitmusTest, context=None) -> str:
         """Allow/Forbid for the target outcome (early-exit fast path)."""
@@ -225,6 +248,8 @@ class Simulator:
                 if verdict_only
                 else _engine.plans(test, variant)
             )
+        plans_walked = 0
+        plans_skipped = 0
         for plan in plan_source:
             num_candidates += plan.total
             if verdict_only:
@@ -236,9 +261,11 @@ class Simulator:
                     self._outcome_satisfies(test, outcome)
                     for outcome in plan.all_outcomes()
                 ):
+                    plans_skipped += 1
                     continue
             else:
                 all_outcomes |= plan.all_outcomes()
+            plans_walked += 1
             for leaf in plan.leaves():
                 outcome = leaf.outcome
                 matches = (
@@ -263,6 +290,12 @@ class Simulator:
             if verdict_only and target_found:
                 break
 
+        registry = _telemetry._ACTIVE
+        if registry is not None:
+            registry.count("herd.plans_walked", plans_walked)
+            registry.count("herd.plans_skipped_by_target", plans_skipped)
+            if verdict_only and target_found:
+                registry.count("herd.verdict_early_exits")
         return self._summarise(
             test,
             allowed_outcomes,

@@ -329,4 +329,10 @@ def find_cycles(
             )
         )
     cycles.sort(key=lambda cycle: (cycle.name, cycle.accesses))
+    from repro import telemetry as _telemetry
+
+    registry = _telemetry._ACTIVE
+    if registry is not None:
+        registry.count("mole.programs_analysed")
+        registry.count("mole.static_cycles", len(cycles))
     return cycles

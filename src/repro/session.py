@@ -49,11 +49,14 @@ never spawns workers behind your back); they are what
 
 from __future__ import annotations
 
+import contextlib
 import random
 from collections.abc import Mapping
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import telemetry as _telemetry
 from repro.campaign import CampaignPool, ContextCache, worker_count
+from repro.telemetry import CacheStats, Metrics
 from repro.herd.simulator import (
     ModelLike,
     SimulationResult,
@@ -100,6 +103,7 @@ class Session:
         strategy: str = "greedy",
         processes=None,
         cache_size: Optional[int] = 256,
+        telemetry: bool = False,
     ):
         self.model = model
         self.engine = engine
@@ -110,11 +114,14 @@ class Session:
         #: shared by every repair of the session (see repro.fences.campaign).
         self.cycle_cache: Dict = {}
         self._models: Dict[str, Any] = {}
-        self._model_hits = 0
-        self._model_misses = 0
+        self._model_stats = CacheStats("model", entries=lambda: len(self._models))
+        self._cycle_stats = CacheStats("cycle", entries=lambda: len(self.cycle_cache))
         self._simulators: Dict = {}
         self._checkers: Dict = {}
         self._pool: Optional[CampaignPool] = None
+        self._telemetry: Optional[Metrics] = None
+        if telemetry:
+            self.enable_telemetry()
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -126,10 +133,62 @@ class Session:
 
     def close(self) -> None:
         """Shut the campaign pool down (the caches survive; a later
-        batch verb restarts the pool lazily)."""
+        batch verb restarts the pool lazily) and uninstall this
+        session's telemetry registry if it is the active one."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self.disable_telemetry()
+
+    # -- telemetry ----------------------------------------------------------------
+
+    @property
+    def telemetry(self) -> Optional[Metrics]:
+        """This session's metrics registry, or ``None`` until enabled."""
+        return self._telemetry
+
+    def enable_telemetry(self, metrics: Optional[Metrics] = None) -> Metrics:
+        """Install this session's registry as the process-active one.
+
+        The registry persists across ``enable``/``disable`` cycles (its
+        counters accumulate over the session's lifetime); pass
+        ``metrics`` to adopt an external registry instead.  Returns the
+        installed registry.
+        """
+        if metrics is not None:
+            self._telemetry = metrics
+        elif self._telemetry is None:
+            self._telemetry = Metrics()
+        _telemetry.enable(self._telemetry)
+        return self._telemetry
+
+    def disable_telemetry(self) -> None:
+        """Stop collecting: uninstall the process-active registry if it
+        is this session's (the registry itself is kept, so ``stats()``
+        still reports everything collected so far)."""
+        if self._telemetry is not None and _telemetry._ACTIVE is self._telemetry:
+            _telemetry.disable()
+
+    @contextlib.contextmanager
+    def trace(self, path):
+        """Collect telemetry for the ``with`` block and tee the span
+        trace to *path* as JSONL on exit.
+
+        Enables this session's registry on entry (leaving it enabled if
+        it already was), yields the registry, and appends every span
+        recorded so far — plus one trailing summary line — to *path*::
+
+            with session.trace("campaign.jsonl"):
+                session.repair(tests)
+        """
+        was_active = _telemetry._ACTIVE is self._telemetry and self._telemetry is not None
+        registry = self.enable_telemetry()
+        try:
+            yield registry
+        finally:
+            if not was_active:
+                self.disable_telemetry()
+            registry.export_jsonl(path)
 
     # -- shared state -------------------------------------------------------------
 
@@ -146,9 +205,9 @@ class Session:
             key = spec.lower()
             cached = self._models.get(key)
             if cached is not None:
-                self._model_hits += 1
+                self._model_stats.hit()
                 return cached
-            self._model_misses += 1
+            self._model_stats.miss()
             resolved = resolve_model(spec)
             self._models[key] = resolved
             return resolved
@@ -209,12 +268,48 @@ class Session:
         return self.resolve(spec), None
 
     def stats(self) -> Dict[str, Any]:
-        """Cache and pool counters (all JSON-plain)."""
+        """One coherent counter tree (all JSON-plain).
+
+        The historical keys (``model_cache``/``context_cache``/
+        ``cycle_cache``/``simulators``/``checkers``/``pool``) keep their
+        exact shapes; two subtrees extend them:
+
+        * ``caches`` — every cache on the unified
+          :class:`~repro.telemetry.CacheStats` interface: the session's
+          resolved-model, context and repair cycle-signature caches,
+          plus the process-wide ILP memo and parsed-cat-model caches
+          when their modules have been imported;
+        * ``telemetry`` — the session registry's snapshot (counters,
+          gauges, histogram summaries, span count), or ``None`` when
+          telemetry was never enabled.  After a sharded campaign this
+          includes the merged worker-side counters.
+        """
+        import sys
+
+        caches = {
+            "model": self._model_stats.as_dict(),
+            "context": self.context_cache.cache_stats().as_dict(),
+            "cycle": self._cycle_stats.as_dict(),
+        }
+        # Process-wide caches, reported only once their module is in —
+        # stats() must never be the thing that imports a driver.
+        ilp = sys.modules.get("repro.fences.ilp")
+        if ilp is not None:
+            caches["ilp_memo"] = ilp.cache_stats().as_dict()
+        stdlib = sys.modules.get("repro.cat.stdlib")
+        if stdlib is not None:
+            caches["cat_models"] = stdlib.cache_stats().as_dict()
+
+        telemetry_tree = None
+        if self._telemetry is not None:
+            snapshot = self._telemetry.snapshot()
+            telemetry_tree = snapshot.to_dict()
+
         return {
             "model_cache": {
                 "entries": len(self._models),
-                "hits": self._model_hits,
-                "misses": self._model_misses,
+                "hits": self._model_stats.hits,
+                "misses": self._model_stats.misses,
             },
             "context_cache": self.context_cache.stats(),
             "cycle_cache": {"entries": len(self.cycle_cache)},
@@ -225,6 +320,8 @@ class Session:
                 "workers": self.workers,
                 "started": self._pool is not None,
             },
+            "caches": caches,
+            "telemetry": telemetry_tree,
         }
 
     # -- verbs --------------------------------------------------------------------
@@ -346,17 +443,19 @@ class Session:
         if isinstance(tests, LitmusTest):
             from repro.fences.campaign import repair_one
 
-            return repair_one(
+            report = repair_one(
                 tests,
                 self.resolve(model),
                 self.cycle_cache,
                 context_cache=self.context_cache,
                 strategy=strategy,
             )
+            self._count_cycle_traffic([report])
+            return report
         from repro.fences.campaign import repair_family
 
         model_arg, pool = self._dispatch(model)
-        return repair_family(
+        result = repair_family(
             list(tests),
             model_arg,
             processes=self.processes,
@@ -365,6 +464,22 @@ class Session:
             pool=pool,
             strategy=strategy,
         )
+        self._count_cycle_traffic(result.reports)
+        return result
+
+    def _count_cycle_traffic(self, reports) -> None:
+        """Fold repair reports into the cycle-signature cache counters.
+
+        The memo itself is a plain dict consulted inside the repair
+        driver (possibly in worker processes), so the session counts
+        traffic from the reports' ``from_cache`` flags — which reflect
+        the memo state wherever the repair actually ran.
+        """
+        for report in reports:
+            if getattr(report, "from_cache", False):
+                self._cycle_stats.hit()
+            else:
+                self._cycle_stats.miss()
 
     def observe(
         self,

@@ -1,0 +1,430 @@
+"""The process-local metrics registry: counters, gauges, histograms, spans.
+
+A :class:`Metrics` object is a plain in-memory registry.  It knows
+nothing about the simulator, the campaign runtime or the session — the
+instrumented layers push numbers in, and three read-out shapes come
+out:
+
+* :meth:`Metrics.snapshot` — a picklable, JSON-plain
+  :class:`MetricsSnapshot` implementing the :class:`repro.report.Report`
+  protocol (``describe``/``to_dict``/``to_json``), which is also the
+  unit of **cross-process aggregation**: campaign chunk workers snapshot
+  their registry and the parent folds the snapshots back in with
+  :meth:`Metrics.merge` (counters add, histograms combine, spans
+  concatenate — the fold is order-independent on every total);
+* :meth:`Metrics.export_jsonl` — one JSON line per recorded span plus a
+  trailing summary line, the trace format ``Session.trace`` tees;
+* the snapshot's ``describe()`` — a human-readable table.
+
+Histograms keep exact ``count``/``total``/``min``/``max`` plus a
+bounded sample window for the p50/p99 read-outs, so a registry's memory
+stays bounded no matter how long a campaign runs; likewise the span
+buffer is a bounded ring (oldest events fall off first).
+
+Nothing here is hot-path code: the zero-overhead story lives in
+:mod:`repro.telemetry` (the package ``__init__``), whose module-level
+guards short-circuit to no-ops while no registry is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.report import JsonReportMixin
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "MetricsSnapshot",
+    "SpanEvent",
+]
+
+#: Retained histogram samples per metric (percentiles cover this window).
+DEFAULT_MAX_SAMPLES = 1024
+#: Retained span events (the ring buffer's capacity).
+DEFAULT_MAX_SPANS = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level (pool sizes, utilization ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class Histogram:
+    """A distribution: exact count/total/min/max, windowed percentiles.
+
+    ``count`` and ``total`` are exact over every recorded value; the
+    percentile read-outs are computed over the most recent
+    ``max_samples`` values (a bounded window, so long campaigns never
+    grow the registry).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: "deque[float]" = deque(maxlen=max_samples)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._samples.append(value)
+
+    def percentile(self, fraction: float) -> float:
+        """The windowed nearest-rank percentile (``0.5`` for p50)."""
+        return _percentile(sorted(self._samples), fraction)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": _percentile(ordered, 0.50),
+            "p99": _percentile(ordered, 0.99),
+        }
+
+    def _merge_state(
+        self, count: int, total: float, lo: Optional[float], hi: Optional[float],
+        samples: Iterable[float],
+    ) -> None:
+        self.count += count
+        self.total += total
+        if lo is not None and (self.min is None or lo < self.min):
+            self.min = lo
+        if hi is not None and (self.max is None or hi > self.max):
+            self.max = hi
+        self._samples.extend(samples)
+
+
+class SpanEvent:
+    """One structured trace event: a named, tagged, timed region."""
+
+    __slots__ = ("metrics", "name", "tags", "start", "duration", "_t0")
+
+    def __init__(self, metrics: Optional["Metrics"], name: str, tags: Dict[str, Any]):
+        self.metrics = metrics
+        self.name = name
+        self.tags = tags
+        self.start = 0.0  # wall-clock epoch seconds, comparable across processes
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "SpanEvent":
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = time.perf_counter() - self._t0
+        if self.metrics is not None:
+            self.metrics._record_span(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "tags": {str(key): _plain_tag(value) for key, value in self.tags.items()},
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+
+def _plain_tag(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class _TimerContext:
+    """Times a region into one histogram (no trace event)."""
+
+    __slots__ = ("histogram", "_t0")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.histogram.record(time.perf_counter() - self._t0)
+
+
+class Metrics:
+    """The registry: named counters, gauges, histograms and a span ring.
+
+    All methods are cheap dictionary operations; none allocate beyond
+    the first use of a name.  Registries are process-local — for
+    campaign workers the runtime installs a fresh registry per chunk,
+    snapshots it, and the parent merges the snapshots (see
+    :func:`repro.campaign.runner.run_sharded`).
+    """
+
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ):
+        self.max_samples = max_samples
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: "deque[SpanEvent]" = deque(maxlen=max_spans)
+        #: spans dropped because the ring buffer was full.
+        self.spans_dropped = 0
+
+    # -- write side ---------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name, self.max_samples)
+            self._histograms[name] = histogram
+        return histogram
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    def timer(self, name: str) -> _TimerContext:
+        """``with metrics.timer("x"): ...`` records seconds into
+        histogram ``x`` (no trace event — use :meth:`span` for those)."""
+        return _TimerContext(self.histogram(name))
+
+    def span(self, name: str, **tags: Any) -> SpanEvent:
+        """``with metrics.span("x", test="mp"): ...`` appends a
+        structured trace event to the ring buffer *and* records the
+        duration into histogram ``x`` (so spans get p50/p99 for free)."""
+        return SpanEvent(self, name, tags)
+
+    def _record_span(self, event: SpanEvent) -> None:
+        if len(self._spans) == self._spans.maxlen:
+            self.spans_dropped += 1
+        self._spans.append(event)
+        self.histogram(event.name).record(event.duration)
+
+    # -- read side ----------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[SpanEvent]:
+        return list(self._spans)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """A picklable, JSON-plain copy of the registry's current state."""
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in sorted(self._counters.items())},
+            gauges={name: g.value for name, g in sorted(self._gauges.items())},
+            histograms={
+                name: dict(
+                    h.summary(),
+                    samples=[float(v) for v in h._samples],
+                )
+                for name, h in sorted(self._histograms.items())
+            },
+            spans=[event.as_dict() for event in self._spans],
+            spans_dropped=self.spans_dropped,
+        )
+
+    def merge(self, snapshot: "MetricsSnapshot") -> None:
+        """Fold a snapshot (typically a worker's) into this registry.
+
+        Counters and histogram counts/totals add, min/max widen, gauges
+        take the snapshot's value, spans append (bounded by the ring).
+        Every *total* is order-independent under repeated merges.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).add(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.histograms.items():
+            self.histogram(name)._merge_state(
+                int(summary.get("count", 0)),
+                float(summary.get("total", 0.0)),
+                summary.get("min"),
+                summary.get("max"),
+                summary.get("samples", ()),
+            )
+        for span_dict in snapshot.spans:
+            event = SpanEvent(None, span_dict["name"], dict(span_dict.get("tags", {})))
+            event.start = span_dict.get("start", 0.0)
+            event.duration = span_dict.get("duration", 0.0)
+            if len(self._spans) == self._spans.maxlen:
+                self.spans_dropped += 1
+            self._spans.append(event)
+        self.spans_dropped += snapshot.spans_dropped
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the trace: one JSON line per span, then a summary line.
+
+        Returns the number of lines written.  The summary line carries
+        the counters, gauges and histogram summaries, so a trace file is
+        self-contained."""
+        snapshot = self.snapshot()
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for span_dict in snapshot.spans:
+                handle.write(json.dumps(span_dict, sort_keys=True) + "\n")
+                lines += 1
+            summary = dict(snapshot.to_dict(), spans=len(snapshot.spans))
+            summary["type"] = "metrics"
+            handle.write(json.dumps(summary, sort_keys=True) + "\n")
+            lines += 1
+        return lines
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+        self.spans_dropped = 0
+
+
+class MetricsSnapshot(JsonReportMixin):
+    """A frozen, JSON-plain view of a registry — the merge/pickle unit.
+
+    Every field is built from strings, numbers, lists and dictionaries
+    only, so snapshots pickle without dragging any simulator, model or
+    test object across a process boundary (asserted by the test-suite).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms", "spans", "spans_dropped")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, Dict[str, Any]]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        spans_dropped: int = 0,
+    ):
+        self.counters = counters or {}
+        self.gauges = gauges or {}
+        self.histograms = histograms or {}
+        self.spans = spans or []
+        self.spans_dropped = spans_dropped
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "telemetry",
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    key: value
+                    for key, value in summary.items()
+                    if key != "samples"
+                }
+                for name, summary in self.histograms.items()
+            },
+            "spans": [dict(span) for span in self.spans],
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def describe(self) -> str:
+        """The registry as a human-readable table."""
+        lines = ["telemetry:"]
+        if self.counters:
+            lines.append("  counters:")
+            width = max(len(name) for name in self.counters)
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"    {name:<{width}}  {value}")
+        if self.gauges:
+            lines.append("  gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"    {name:<{width}}  {value:.3f}")
+        if self.histograms:
+            lines.append("  histograms:")
+            width = max(len(name) for name in self.histograms)
+            for name, summary in sorted(self.histograms.items()):
+                lines.append(
+                    f"    {name:<{width}}  count={summary['count']}"
+                    f" mean={summary['mean']:.6f}s"
+                    f" p50={summary['p50']:.6f}s p99={summary['p99']:.6f}s"
+                )
+        lines.append(
+            f"  spans: {len(self.spans)} recorded"
+            + (f", {self.spans_dropped} dropped" if self.spans_dropped else "")
+        )
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.gauges == other.gauges
+            and self.histograms == other.histograms
+            and self.spans == other.spans
+            and self.spans_dropped == other.spans_dropped
+        )

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import telemetry as _telemetry
 from repro.core.architectures import get_architecture
 from repro.core.model import Architecture, Model
 from repro.herd.engine import ComboPlan, plans
@@ -206,6 +207,7 @@ class BoundedModelChecker:
             if counterexample is not None:
                 break  # reachability proven; the query is decided
         elapsed = time.perf_counter() - start
+        self._count_query(candidates_explored, allowed)
         return VerificationResult(
             name=program.name,
             model_name=self.model_name,
@@ -276,6 +278,14 @@ class BoundedModelChecker:
             test, counterexample, candidates_explored, allowed, start
         )
 
+    @staticmethod
+    def _count_query(candidates_explored: int, allowed: int) -> None:
+        registry = _telemetry._ACTIVE
+        if registry is not None:
+            registry.count("bmc.queries")
+            registry.count("bmc.candidates_explored", candidates_explored)
+            registry.count("bmc.allowed_executions", allowed)
+
     def _litmus_result(
         self,
         test: LitmusTest,
@@ -285,6 +295,7 @@ class BoundedModelChecker:
         start: float,
     ) -> VerificationResult:
         elapsed = time.perf_counter() - start
+        self._count_query(candidates_explored, allowed)
         return VerificationResult(
             name=test.name,
             model_name=self.model_name,

@@ -18,9 +18,12 @@ import pytest
 
 #: The committed public surface of the package root.
 ROOT_API = [
+    "CacheStats",
     "CampaignPool",
     "ContextCache",
     "LitmusTest",
+    "Metrics",
+    "MetricsSnapshot",
     "Report",
     "Session",
     "SimulationResult",
@@ -134,6 +137,24 @@ SUBPACKAGE_API = {
         "corpus_package_names",
         "debian_corpus",
         "find_cycles",
+    ],
+    "repro.telemetry": [
+        "CacheStats",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "Metrics",
+        "MetricsSnapshot",
+        "SpanEvent",
+        "active",
+        "count",
+        "disable",
+        "enable",
+        "enabled",
+        "observe",
+        "set_gauge",
+        "span",
+        "timer",
     ],
     "repro.session": [
         "Session",
