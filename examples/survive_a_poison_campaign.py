@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Survive a poison campaign: quarantine, retry and self-healing pools.
+
+Large sweeps and repair campaigns fan thousands of independent jobs
+over worker processes, and at that scale the rare failure modes become
+routine: a worker OOM-killed mid-chunk, a pathological test hanging the
+enumeration, an exception that cannot even be pickled back to the
+parent.  The campaign runtime supervises every pooled batch, so one
+poison test costs exactly one result — never the batch.  This example
+
+1. sweeps a diy family with a deterministic worker *crash* injected on
+   one test: the batch completes, the victim is quarantined as a
+   structured ``FailedItem``, and every other verdict matches a clean
+   serial run,
+2. re-runs with ``on_error="serial_retry"``: the fault only exists in
+   worker processes, so the in-process retry heals it and the sweep is
+   complete,
+3. prints the supervision counters (``retries`` / ``worker_deaths`` /
+   ``respawns`` / ``bisections`` / ``quarantined``) that
+   ``session.stats()`` accumulates.
+
+The injected fault comes from :mod:`repro.campaign.faults` — a
+test-only seam; production campaigns pay one ``None`` check per job.
+
+Run with::
+
+    python examples/survive_a_poison_campaign.py
+"""
+
+from repro import Session
+from repro.campaign import faults
+from repro.diy import two_thread_family
+
+# A small family, sized to span several worker chunks.
+FAMILY = two_thread_family("power", limit=12)
+VICTIM = FAMILY[5].name
+
+
+def clean_reference():
+    with Session(model="power") as session:
+        return session.sweep(FAMILY)
+
+
+def sweep_with_a_crashing_worker(reference) -> None:
+    print(f"== quarantine: a worker crashes (os._exit) on {VICTIM!r}")
+    faults.install(faults.FaultSpec("crash", VICTIM))
+    try:
+        with Session(
+            model="power", processes=2, max_retries=1, retry_backoff=0.01
+        ) as session:
+            swept = session.sweep(FAMILY)
+            for failed in swept.errors:
+                print(
+                    f"  quarantined {failed.item!r}: {failed.kind} "
+                    f"after {failed.attempts} attempts ({failed.error})"
+                )
+            survivors = [v for v in reference.verdicts if v[0] != VICTIM]
+            assert list(swept.verdicts) == survivors
+            print(f"  {len(swept.verdicts)}/{len(FAMILY)} verdicts intact, "
+                  "identical to the clean serial sweep")
+            counters = session.stats()["supervisor"]["counters"]
+            interesting = {k: v for k, v in counters.items() if v}
+            print(f"  supervision counters: {interesting}")
+    finally:
+        faults.uninstall()
+    print()
+
+
+def heal_with_serial_retry(reference) -> None:
+    print("== serial_retry: the same fault, healed in-process")
+    faults.install(faults.FaultSpec("crash", VICTIM))
+    try:
+        with Session(
+            model="power",
+            processes=2,
+            on_error="serial_retry",
+            max_retries=0,
+            retry_backoff=0.01,
+        ) as session:
+            swept = session.sweep(FAMILY)
+            assert swept.errors == ()
+            assert swept.verdicts == reference.verdicts
+            retries = session.stats()["supervisor"]["counters"]["serial_retries"]
+            print(f"  all {len(swept.verdicts)} verdicts recovered "
+                  f"({retries:g} serial retries) — the fault only lived in workers")
+    finally:
+        faults.uninstall()
+    print()
+
+
+def main() -> None:
+    reference = clean_reference()
+    sweep_with_a_crashing_worker(reference)
+    heal_with_serial_retry(reference)
+    print("a poison job costs one result, never the campaign")
+
+
+if __name__ == "__main__":
+    main()

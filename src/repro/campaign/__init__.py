@@ -10,13 +10,22 @@ batches of independent simulate/verdict jobs over this one runtime:
 * :mod:`repro.campaign.runner` — chunked, order-preserving work sharding
   over a process pool, with a serial fallback whose results are
   byte-identical by construction;
+* :mod:`repro.campaign.supervisor` — the fault-tolerant execution layer:
+  per-chunk deadlines, bounded retry with exponential backoff, worker
+  death detection with automatic respawn (self-healing pools), and
+  poison-item bisection with structured quarantine
+  (:class:`~repro.campaign.supervisor.FailedItem`) under an
+  ``on_error="quarantine"|"raise"|"serial_retry"`` policy;
 * :mod:`repro.campaign.context` — per-test
   :class:`~repro.campaign.context.SimulationContext` memoization of the
   front half of the pipeline (thread paths, event interning, fixed
   relations, plan skeletons), keyed by structural test identity;
 * :mod:`repro.campaign.jobs` — picklable job specs and the per-process
   warm state (resolved models, simulators, context caches) the workers
-  re-hydrate them with.
+  re-hydrate them with;
+* :mod:`repro.campaign.faults` — deterministic fault injection (worker
+  crash/hang/unpicklable-exception at a chosen item), used only by the
+  test-suite and benchmarks to pin the fault-tolerance guarantees.
 """
 
 from repro.campaign.context import ContextCache, SimulationContext, test_fingerprint
@@ -27,13 +36,23 @@ from repro.campaign.runner import (
     run_sharded,
     worker_count,
 )
+from repro.campaign.supervisor import (
+    CampaignPicklingWarning,
+    FailedItem,
+    PoisonItemError,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "ContextCache",
     "SimulationContext",
     "test_fingerprint",
     "CampaignPool",
+    "CampaignPicklingWarning",
     "DEFAULT_CHUNK_SIZE",
+    "FailedItem",
+    "PoisonItemError",
+    "SupervisorPolicy",
     "chunked",
     "run_sharded",
     "worker_count",

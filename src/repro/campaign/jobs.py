@@ -18,6 +18,14 @@ The chunk workers are module-level functions (multiprocessing pickles
 them by reference) with lazy driver imports, keeping ``repro.campaign``
 import-light and free of circular imports — driver modules import the
 runtime, never the reverse at import time.
+
+Every worker consults :func:`repro.campaign.faults.trip` once per job —
+a module-global ``None`` check in production, and the seam the
+fault-tolerance test-suite uses to stage worker crashes, hangs and
+unpicklable exceptions at an exactly chosen item.  Exceptions escaping
+a chunk are captured at the chunk boundary by
+:func:`repro.campaign.supervisor.guarded_call` into picklable error
+envelopes, so nothing a job raises can wedge the pool machinery.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.campaign import faults as _faults
 from repro.campaign.context import ContextCache
 from repro.herd.simulator import Simulator
 from repro.litmus.ast import LitmusTest
@@ -139,6 +148,7 @@ def verdict_chunk(chunk: List[VerdictJob], payload: Any = None) -> List[Tuple[st
     results = []
     cache = process_context_cache()
     for job in chunk:
+        _faults.trip(job.test.name)
         simulator = process_simulator(job.model_name, job.engine)
         verdict = simulator.verdict(job.test, context=cache.get(job.test))
         results.append((job.test.name, verdict))
@@ -150,6 +160,7 @@ def simulate_chunk(chunk: List[SimulateJob], payload: Any = None):
     results = []
     cache = process_context_cache()
     for job in chunk:
+        _faults.trip(job.test.name)
         simulator = process_simulator(job.model_name, job.engine)
         results.append(
             simulator.run(job.test, until=job.until, context=cache.get(job.test))
@@ -172,13 +183,15 @@ def repair_chunk(chunk: List[LitmusTest], payload: Tuple[str, dict, str]):
     local = dict(cache_snapshot)
     simulator_model = process_simulator(model_name).model
     cache = process_context_cache()
-    reports = [
-        repair_one(
-            test, simulator_model, local, context_cache=cache,
-            strategy=strategy,
+    reports = []
+    for test in chunk:
+        _faults.trip(test.name)
+        reports.append(
+            repair_one(
+                test, simulator_model, local, context_cache=cache,
+                strategy=strategy,
+            )
         )
-        for test in chunk
-    ]
     return reports, local
 
 
@@ -189,6 +202,7 @@ def hardware_chunk(chunk: List[HardwareJob], payload: Any = None):
     results = []
     cache = process_context_cache()
     for job in chunk:
+        _faults.trip(job.test.name)
         simulator = process_simulator(job.model_name)
         chips = [_process_chip(name) for name in job.chip_names]
         results.append(
@@ -210,6 +224,7 @@ def mole_chunk(chunk: List[MoleJob], payload: Any = None):
 
     results = []
     for job in chunk:
+        _faults.trip(job.package)
         cycles: list = []
         for program in job.programs:
             cycles.extend(find_cycles(program, job.max_cycle_length))
@@ -223,6 +238,7 @@ def bmc_chunk(chunk: List[BmcJob], payload: Any = None):
 
     results = []
     for job in chunk:
+        _faults.trip(getattr(job.item, "name", repr(job.item)))
         checker = _process_checker(job.model_name, job.backend)
         if isinstance(job.item, Program):
             results.append(checker.verify(job.item))

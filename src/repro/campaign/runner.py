@@ -19,27 +19,50 @@ preserved.  This module is the one fan-out layer they all share:
 * the **serial fallback** (``processes`` of ``None``/``0``/``1``, a
   single-core machine under ``"auto"``, or a single job) runs the very
   same worker over the very same chunks in-process, so its results are
-  byte-identical to the sharded path by construction.
+  byte-identical to the sharded path by construction;
+* an optional :class:`~repro.campaign.supervisor.SupervisorPolicy`
+  routes the batch through the **supervised** execution layer
+  (:mod:`repro.campaign.supervisor`): per-chunk deadlines, bounded
+  retry with backoff, worker-death detection with automatic respawn,
+  and poison-item bisection with quarantine — the batch then completes
+  with ``errors=`` populated instead of wedging or raising.
 
 ``CampaignPool`` keeps one pool alive across several batches: worker
 processes then retain their warm state (per-process simulators and
 context caches) between calls, which is what escalation-style loops
-want.
+want.  Pools shut down gracefully — ``close()``/``__exit__`` ask the
+workers to drain and only ``terminate()`` after a grace period — so
+worker caches flush and in-flight telemetry snapshots are not lost.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import telemetry as _telemetry
+from repro.campaign import supervisor as _supervisor
+from repro.campaign.supervisor import (
+    FailedItem,
+    PoisonItemError,
+    SupervisedPool,
+    SupervisorPolicy,
+    guarded_call,
+    is_pickling_error,
+    item_label,
+    warn_unpicklable,
+)
 from repro.telemetry.metrics import Metrics
 
 #: Default number of jobs per shard; small enough to balance uneven job
 #: costs, large enough to amortize pickling and scheduling.
 DEFAULT_CHUNK_SIZE = 8
+
+#: Default shutdown grace period (seconds) before terminate() escalation.
+DEFAULT_GRACE = 5.0
 
 Processes = Union[None, int, str]
 
@@ -101,6 +124,123 @@ def chunked(jobs: Sequence[Any], chunk_size: int) -> List[List[Any]]:
     return [list(jobs[i : i + chunk_size]) for i in range(0, len(jobs), chunk_size)]
 
 
+def _serial_supervised(
+    run_worker: Callable,
+    make_args: Callable[[List[Any]], Tuple[Any, ...]],
+    chunks: Sequence[List[Any]],
+    counters: Dict[str, float],
+):
+    """The supervised semantics without processes: capture and bisect.
+
+    Exceptions are caught at the chunk boundary and bisected down to
+    the poison item exactly as the pooled supervisor does, so a policy
+    behaves the same when the pool degrades to the serial fallback.
+    Crashes and hangs cannot be contained in-process — those need real
+    worker processes.
+    """
+    successes: List[Tuple[int, int, Any]] = []
+    failures: List[_supervisor._Failure] = []
+
+    def run_slice(chunk_index: int, offset: int, items: List[Any]) -> None:
+        status, value = guarded_call(run_worker, make_args(items))
+        if status == "ok":
+            successes.append((chunk_index, offset, value))
+        elif len(items) > 1:
+            _supervisor._bump(counters, "bisections")
+            middle = len(items) // 2
+            run_slice(chunk_index, offset, items[:middle])
+            run_slice(chunk_index, offset + middle, items[middle:])
+        else:
+            failures.append(
+                _supervisor._Failure(
+                    chunk_index=chunk_index,
+                    offset=offset,
+                    item=items[0],
+                    kind=value.kind,
+                    error=value.error,
+                    traceback=value.traceback,
+                    attempts=1,
+                )
+            )
+
+    for index, chunk in enumerate(chunks):
+        run_slice(index, 0, list(chunk))
+    return successes, failures
+
+
+def _run_supervised(
+    run_worker: Callable,
+    make_args: Callable[[List[Any]], Tuple[Any, ...]],
+    chunks: Sequence[List[Any]],
+    policy: SupervisorPolicy,
+    *,
+    processes: Processes,
+    pool: Optional["CampaignPool"],
+    phase: str,
+) -> Tuple[List[Tuple[int, int, Any]], List[FailedItem]]:
+    """Run *chunks* under supervision and apply the error policy.
+
+    Returns ``(successes, failed_items)`` where successes are
+    ``(chunk_index, offset, outcome)`` triples covering every surviving
+    slice.  ``on_error="serial_retry"`` failures are re-run here, in
+    the parent; whatever still fails is quarantined (or raised, under
+    ``on_error="raise"``).
+    """
+    counters = pool.counters if pool is not None else _supervisor.new_counters()
+    effective = pool.workers if pool is not None else worker_count(processes)
+
+    if effective <= 1 or len(chunks) <= 1:
+        successes, failures = _serial_supervised(
+            run_worker, make_args, chunks, counters
+        )
+    elif pool is not None:
+        successes, failures = pool.supervised().run_tasks(
+            run_worker, make_args, chunks, policy
+        )
+    else:
+        ephemeral = SupervisedPool(min(effective, len(chunks)), counters)
+        try:
+            successes, failures = ephemeral.run_tasks(
+                run_worker, make_args, chunks, policy
+            )
+        finally:
+            ephemeral.close(policy.grace)
+
+    failed_items: List[FailedItem] = []
+    for failure in failures:
+        attempts = failure.attempts
+        if policy.on_error == "serial_retry":
+            # Graceful degradation: one in-process attempt in the
+            # parent.  Worker-only faults (a chunk that OOMs the worker,
+            # an environment-dependent crash) heal here, preserving the
+            # sharded==serial guarantee for the retried item too.
+            _supervisor._bump(counters, "serial_retries")
+            attempts += 1
+            status, value = guarded_call(run_worker, make_args([failure.item]))
+            if status == "ok":
+                successes.append((failure.chunk_index, failure.offset, value))
+                continue
+            failure.kind = value.kind
+            failure.error = value.error
+            failure.traceback = value.traceback
+        failed_items.append(
+            FailedItem(
+                item=item_label(failure.item),
+                phase=phase,
+                kind=failure.kind,
+                error=failure.error,
+                traceback=failure.traceback,
+                attempts=attempts,
+            )
+        )
+
+    if failed_items and policy.on_error == "raise":
+        raise PoisonItemError(failed_items)
+    if failed_items:
+        _supervisor._bump(counters, "quarantined", len(failed_items))
+    return successes, failed_items
+
+
 def run_sharded(
     worker: Callable[[List[Any], Any], Any],
     jobs: Sequence[Any],
@@ -110,6 +250,8 @@ def run_sharded(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     merge: Optional[Callable[[Any], None]] = None,
     pool: Optional["CampaignPool"] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    errors: Optional[List[FailedItem]] = None,
 ) -> List[Any]:
     """Run *worker* over *jobs* in chunks, results in submission order.
 
@@ -119,6 +261,21 @@ def run_sharded(
     as chunks complete (the fence campaign merges worker-local memo
     caches this way).  ``pool`` reuses an open :class:`CampaignPool`
     instead of spinning a fresh one.
+
+    ``policy`` (or the pool's default policy) routes the batch through
+    the supervised layer: chunk deadlines, bounded retry, worker
+    respawn, and poison-item bisection.  Quarantined jobs are dropped
+    from the results — in submission order, so the surviving results
+    equal a clean serial run over the surviving jobs — and reported as
+    :class:`~repro.campaign.supervisor.FailedItem` records appended to
+    the caller's ``errors`` list.  Without a policy, failures propagate
+    exactly as the bare pool raised them.
+
+    A payload that fails to pickle no longer surfaces as a raw
+    ``PicklingError`` from inside the pool machinery: the batch falls
+    back to in-process serial execution with a
+    :class:`~repro.campaign.supervisor.CampaignPicklingWarning` naming
+    the offending object.
 
     When a telemetry registry is active in the calling process, every
     shard runs through :func:`_instrumented_chunk`: chunk workers
@@ -132,30 +289,66 @@ def run_sharded(
     jobs = list(jobs)
     parent_registry = _telemetry._ACTIVE
     batch_t0 = time.perf_counter()
+    if policy is None and pool is not None:
+        policy = pool.policy
+    chunks = chunked(jobs, chunk_size)
+
     if parent_registry is not None:
         submitted = time.time()
-        shards = [
-            (worker, chunk, payload, submitted)
-            for chunk in chunked(jobs, chunk_size)
-        ]
         run_worker: Callable = _instrumented_chunk
+
+        def make_args(items: List[Any]) -> Tuple[Any, ...]:
+            return (worker, items, payload, submitted)
+
     else:
-        shards = [(chunk, payload) for chunk in chunked(jobs, chunk_size)]
         run_worker = worker
-    if pool is not None:
-        effective_workers = pool.workers
-        outcomes = pool._starmap(run_worker, shards)
+
+        def make_args(items: List[Any]) -> Tuple[Any, ...]:
+            return (items, payload)
+
+    if policy is not None:
+        effective_workers = pool.workers if pool is not None else worker_count(processes)
+        successes, failed_items = _run_supervised(
+            run_worker,
+            make_args,
+            chunks,
+            policy,
+            processes=processes,
+            pool=pool,
+            phase=getattr(worker, "__name__", str(worker)),
+        )
+        if errors is not None:
+            errors.extend(failed_items)
+        per_chunk: Dict[int, List[Tuple[int, Any]]] = {}
+        for chunk_index, offset, outcome in successes:
+            per_chunk.setdefault(chunk_index, []).append((offset, outcome))
+        outcomes = [
+            outcome
+            for chunk_index in range(len(chunks))
+            for _, outcome in sorted(per_chunk.get(chunk_index, ()))
+        ]
     else:
-        effective_workers = worker_count(processes)
-        # A single shard has no parallelism to win: run it in-process
-        # rather than paying for a one-worker pool.
-        if effective_workers <= 1 or len(shards) <= 1:
-            outcomes = [run_worker(*shard) for shard in shards]
+        shards = [make_args(chunk) for chunk in chunks]
+        if pool is not None:
+            effective_workers = pool.workers
+            outcomes = pool._starmap(run_worker, shards)
         else:
-            with multiprocessing.Pool(
-                min(effective_workers, len(shards))
-            ) as mp_pool:
-                outcomes = mp_pool.starmap(run_worker, shards, chunksize=1)
+            effective_workers = worker_count(processes)
+            # A single shard has no parallelism to win: run it in-process
+            # rather than paying for a one-worker pool.
+            if effective_workers <= 1 or len(shards) <= 1:
+                outcomes = [run_worker(*shard) for shard in shards]
+            else:
+                try:
+                    with multiprocessing.Pool(
+                        min(effective_workers, len(shards))
+                    ) as mp_pool:
+                        outcomes = mp_pool.starmap(run_worker, shards, chunksize=1)
+                except Exception as exc:
+                    if not is_pickling_error(exc):
+                        raise
+                    warn_unpicklable(shards, exc)
+                    outcomes = [run_worker(*shard) for shard in shards]
 
     results: List[Any] = []
     busy_seconds = 0.0
@@ -176,13 +369,29 @@ def run_sharded(
         batch_seconds = time.perf_counter() - batch_t0
         parent_registry.count("campaign.batches")
         parent_registry.observe("campaign.batch_seconds", batch_seconds)
-        workers_used = max(1, min(effective_workers, len(shards)))
+        workers_used = max(1, min(effective_workers, len(chunks)))
         if batch_seconds > 0:
             parent_registry.set_gauge(
                 "campaign.worker_utilization",
                 min(1.0, busy_seconds / (batch_seconds * workers_used)),
             )
     return results
+
+
+def _graceful_mp_close(mp_pool, grace: float) -> None:
+    """``close()`` + bounded ``join()``, falling back to ``terminate()``.
+
+    ``multiprocessing.Pool.join`` has no timeout, so the join runs in a
+    daemon thread and the pool is terminated only if the workers have
+    not drained within *grace* seconds.
+    """
+    mp_pool.close()
+    joiner = threading.Thread(target=mp_pool.join, daemon=True)
+    joiner.start()
+    joiner.join(max(grace, 0.0))
+    if joiner.is_alive():
+        mp_pool.terminate()
+        joiner.join(1.0)
 
 
 class CampaignPool:
@@ -195,6 +404,13 @@ class CampaignPool:
     model comparisons want.  With an effective worker count of one the
     pool degrades to the serial fallback and spawns nothing.
 
+    ``policy`` (a :class:`~repro.campaign.supervisor.SupervisorPolicy`)
+    makes every batch on this pool supervised: chunk deadlines, bounded
+    retry, automatic respawn of dead workers, poison-item quarantine.
+    ``counters`` accumulates the supervision events across batches (and
+    across worker respawns) — the ``supervisor`` subtree of
+    ``Session.stats()`` reads it.
+
     Use as a context manager::
 
         with CampaignPool("auto") as pool:
@@ -202,9 +418,16 @@ class CampaignPool:
             second = pool.run(worker, jobs_b, payload=...)
     """
 
-    def __init__(self, processes: Processes = "auto"):
+    def __init__(
+        self,
+        processes: Processes = "auto",
+        policy: Optional[SupervisorPolicy] = None,
+    ):
         self.workers = worker_count(processes)
+        self.policy = policy
+        self.counters: Dict[str, float] = _supervisor.new_counters()
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._supervised: Optional[SupervisedPool] = None
 
     def __enter__(self) -> "CampaignPool":
         return self
@@ -212,11 +435,32 @@ class CampaignPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
+    def close(self, grace: Optional[float] = None) -> None:
+        """Drain and shut down the workers, gracefully then forcefully.
+
+        Workers get *grace* seconds (default: the policy's, else 5) to
+        finish their in-flight chunk and exit; stragglers are
+        terminated.  The supervision counters survive ``close`` — a
+        pool restarted by a later batch keeps accumulating into them.
+        """
+        if grace is None:
+            grace = self.policy.grace if self.policy is not None else DEFAULT_GRACE
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _graceful_mp_close(self._pool, grace)
             self._pool = None
+        if self._supervised is not None:
+            self._supervised.close(grace)
+            self._supervised = None
+
+    def supervised(self) -> SupervisedPool:
+        """This pool's supervised process group (started lazily)."""
+        if self._supervised is None:
+            self._supervised = SupervisedPool(self.workers, self.counters)
+        return self._supervised
+
+    def stats(self) -> Dict[str, float]:
+        """A copy of the supervision counters (zeros when never used)."""
+        return dict(self.counters)
 
     def _starmap(
         self, worker: Callable, shards: List[Tuple[Any, ...]]
@@ -225,7 +469,19 @@ class CampaignPool:
             return [worker(*shard) for shard in shards]
         if self._pool is None:
             self._pool = multiprocessing.Pool(self.workers)
-        return self._pool.starmap(worker, shards, chunksize=1)
+        try:
+            return self._pool.starmap(worker, shards, chunksize=1)
+        except Exception as exc:
+            if not is_pickling_error(exc):
+                raise
+            # A half-submitted batch can leave the pool machinery in an
+            # undefined state: drop it (a later batch respawns lazily)
+            # and run this batch here, naming the unpicklable object.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            warn_unpicklable(shards, exc)
+            return [worker(*shard) for shard in shards]
 
     def run(
         self,
@@ -235,6 +491,8 @@ class CampaignPool:
         payload: Any = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         merge: Optional[Callable[[Any], None]] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        errors: Optional[List[FailedItem]] = None,
     ) -> List[Any]:
         """:func:`run_sharded` on this pool's (persistent) workers."""
         return run_sharded(
@@ -244,4 +502,6 @@ class CampaignPool:
             chunk_size=chunk_size,
             merge=merge,
             pool=self,
+            policy=policy,
+            errors=errors,
         )

@@ -157,6 +157,10 @@ class FamilySweep(JsonReportMixin):
     model_name: str
     #: per test, in family order: ``(test name, "Allow" | "Forbid")``.
     verdicts: Tuple[Tuple[str, str], ...]
+    #: quarantined tests of a supervised sweep
+    #: (:class:`~repro.campaign.FailedItem` records); ``verdicts`` then
+    #: covers exactly the survivors, in family order.
+    errors: Tuple = ()
 
     @property
     def num_tests(self) -> int:
@@ -177,9 +181,10 @@ class FamilySweep(JsonReportMixin):
         raise KeyError(f"no test named {name!r} in this sweep")
 
     def describe(self) -> str:
+        quarantined = f", {len(self.errors)} quarantined" if self.errors else ""
         return (
             f"{self.num_tests} tests under {self.model_name}: "
-            f"{self.num_allowed} Allow, {self.num_forbidden} Forbid"
+            f"{self.num_allowed} Allow, {self.num_forbidden} Forbid{quarantined}"
         )
 
     def to_dict(self) -> dict:
@@ -189,6 +194,7 @@ class FamilySweep(JsonReportMixin):
             "num_tests": self.num_tests,
             "num_allowed": self.num_allowed,
             "num_forbidden": self.num_forbidden,
+            "errors": [error.to_dict() for error in self.errors],
             "verdicts": [[name, test_verdict] for name, test_verdict in self.verdicts],
         }
 
@@ -201,6 +207,8 @@ def sweep_family(
     context_cache=None,
     chunk_size: int = 8,
     pool=None,
+    policy=None,
+    errors: Optional[List] = None,
 ) -> FamilySweep:
     """Allow/Forbid verdicts of every test of a family under one model.
 
@@ -211,10 +219,18 @@ def sweep_family(
     re-hydrate it.  Serially, the model is resolved once for the whole
     sweep and ``context_cache`` lets repeated sweeps of the same family
     (e.g. under several models) skip the front half of the pipeline.
+
+    ``policy`` (a :class:`~repro.campaign.SupervisorPolicy`, or the
+    pool's own default) makes the sharded sweep fault-tolerant:
+    quarantined tests are dropped from ``verdicts`` and recorded as
+    :class:`~repro.campaign.FailedItem` entries on ``sweep.errors``
+    (also appended to ``errors`` when the caller passes a list).
     """
     from repro.campaign import runner as campaign_runner
 
     tests = list(tests)
+    failed: List = [] if errors is None else errors
+    first_failure = len(failed)
     sharded = (
         pool is not None or campaign_runner.worker_count(processes) > 1
     ) and isinstance(model, str)
@@ -228,11 +244,17 @@ def sweep_family(
             processes=processes,
             chunk_size=chunk_size,
             pool=pool,
+            policy=policy,
+            errors=failed,
         )
         # Canonical model name, exactly as the serial path reports it
         # (model names are matched case-insensitively).
         model_name = getattr(resolve_model(model), "name", str(model))
-        return FamilySweep(model_name=model_name, verdicts=tuple(verdicts))
+        return FamilySweep(
+            model_name=model_name,
+            verdicts=tuple(verdicts),
+            errors=tuple(failed[first_failure:]),
+        )
 
     from repro.herd.simulator import Simulator
 

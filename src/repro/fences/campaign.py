@@ -41,11 +41,19 @@ CycleCache = Dict[Tuple[str, str, Tuple], Tuple[Tuple[Tuple, str], ...]]
 
 @dataclass
 class CampaignResult(JsonReportMixin):
-    """Summary of repairing one family of tests."""
+    """Summary of repairing one family of tests.
+
+    ``errors`` holds the quarantined jobs of a supervised campaign
+    (:class:`~repro.campaign.supervisor.FailedItem` records): tests the
+    fault-tolerant runtime gave up on after retries and bisection.
+    ``reports`` then covers exactly the surviving tests, in family
+    order.
+    """
 
     model_name: str
     reports: List[RepairReport]
     cache_hits: int = 0
+    errors: Tuple = ()
 
     @property
     def num_tests(self) -> int:
@@ -74,11 +82,12 @@ class CampaignResult(JsonReportMixin):
         return sum(report.validations for report in self.reports)
 
     def describe(self) -> str:
+        quarantined = f", {len(self.errors)} quarantined" if self.errors else ""
         return (
             f"{self.num_tests} tests under {self.model_name}: "
             f"{self.num_needing_repair} needed fences, {self.num_repaired} repaired "
             f"(total cost {self.total_cost:g}, {self.total_validations} validations, "
-            f"{self.cache_hits} cache hits)"
+            f"{self.cache_hits} cache hits{quarantined})"
         )
 
     def to_dict(self) -> dict:
@@ -92,6 +101,7 @@ class CampaignResult(JsonReportMixin):
             "total_cost": self.total_cost,
             "total_validations": self.total_validations,
             "cache_hits": self.cache_hits,
+            "errors": [error.to_dict() for error in self.errors],
             "reports": [report.to_dict() for report in self.reports],
         }
 
@@ -163,6 +173,8 @@ def repair_family(
     context_cache=None,
     pool=None,
     strategy: str = "greedy",
+    policy=None,
+    errors: Optional[List] = None,
 ) -> CampaignResult:
     """Repair every test of a family, optionally in parallel.
 
@@ -185,11 +197,19 @@ def repair_family(
     planner for every repair of the campaign; ILP repairs shard and
     memoize exactly like greedy ones (the memo key carries the
     strategy, so mixed-strategy campaigns may share one ``cache``).
+
+    ``policy`` (a :class:`~repro.campaign.SupervisorPolicy`, or the
+    pool's own default) makes the sharded campaign fault-tolerant:
+    quarantined tests are dropped from ``reports`` and recorded as
+    :class:`~repro.campaign.FailedItem` entries on ``result.errors``
+    (also appended to ``errors`` when the caller passes a list).
     """
     tests = list(tests)
     if cache is None:
         cache = {}
     model_name = model if isinstance(model, str) else getattr(model, "name", str(model))
+    failed: List = [] if errors is None else errors
+    first_failure = len(failed)
 
     sharded = (
         pool is not None or campaign_runner.worker_count(processes) > 1
@@ -205,6 +225,8 @@ def repair_family(
             chunk_size=chunk_size,
             merge=cache.update,
             pool=pool,
+            policy=policy,
+            errors=failed,
         )
     else:
         resolved = resolve_model(model)
@@ -218,5 +240,8 @@ def repair_family(
 
     cache_hits = sum(1 for report in reports if report.from_cache)
     return CampaignResult(
-        model_name=str(model_name), reports=reports, cache_hits=cache_hits
+        model_name=str(model_name),
+        reports=reports,
+        cache_hits=cache_hits,
+        errors=tuple(failed[first_failure:]),
     )

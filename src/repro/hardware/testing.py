@@ -114,6 +114,10 @@ class CampaignReport(JsonReportMixin):
 
     model_name: str
     results: List[ObservedTest] = field(default_factory=list)
+    #: quarantined tests of a supervised campaign
+    #: (:class:`~repro.campaign.FailedItem` records); ``results`` then
+    #: covers exactly the survivors, in family order.
+    errors: List = field(default_factory=list)
 
     @property
     def num_tests(self) -> int:
@@ -136,9 +140,10 @@ class CampaignReport(JsonReportMixin):
 
     def describe(self) -> str:
         row = self.summary_row()
+        quarantined = f", {len(self.errors)} quarantined" if self.errors else ""
         return (
             f"{self.model_name}: {row['# tests']} tests, "
-            f"{row['invalid']} invalid, {row['unseen']} unseen"
+            f"{row['invalid']} invalid, {row['unseen']} unseen{quarantined}"
         )
 
     def to_dict(self) -> Dict:
@@ -148,6 +153,7 @@ class CampaignReport(JsonReportMixin):
             "num_tests": self.num_tests,
             "num_invalid": len(self.invalid_tests),
             "num_unseen": len(self.unseen_tests),
+            "errors": [error.to_dict() for error in self.errors],
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -268,6 +274,8 @@ def run_campaign(
     context_cache=None,
     chunk_size: int = 4,
     pool=None,
+    policy=None,
+    errors: Optional[List] = None,
 ) -> CampaignReport:
     """Run a family of tests on a chip population and compare with a model.
 
@@ -285,6 +293,12 @@ def run_campaign(
     errata — so the serial path keeps a per-test context cache of its
     own when the caller does not supply one (workers always do, per
     process).
+
+    ``policy`` (a :class:`~repro.campaign.SupervisorPolicy`, or the
+    pool's own default) makes the sharded campaign fault-tolerant:
+    quarantined tests are dropped from ``report.results`` and recorded
+    as :class:`~repro.campaign.FailedItem` entries on ``report.errors``
+    (also appended to ``errors`` when the caller passes a list).
     """
     from repro.campaign import ContextCache, runner as campaign_runner
 
@@ -318,8 +332,12 @@ def run_campaign(
                 processes=processes,
                 chunk_size=chunk_size,
                 pool=pool,
+                policy=policy,
+                errors=report.errors,
             )
         )
+        if errors is not None:
+            errors.extend(report.errors)
     else:
         for test, test_seeds in zip(tests, seeds):
             report.results.append(

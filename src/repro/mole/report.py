@@ -10,7 +10,7 @@ the whole Debian distribution), how many static cycles of each pattern
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.mole.analysis import StaticCycle, find_cycles
 from repro.report import JsonReportMixin
@@ -81,6 +81,8 @@ def analyse_corpus(
     processes=None,
     chunk_size: int = 2,
     pool=None,
+    policy=None,
+    errors: Optional[List] = None,
 ) -> Dict[str, MoleReport]:
     """Run mole over a whole corpus; one aggregated report per package.
 
@@ -90,6 +92,12 @@ def analyse_corpus(
     censuses equal serial ones exactly.  ``pool`` reuses an open
     :class:`repro.campaign.CampaignPool` (a session's warm workers)
     instead of spinning a fresh one per call.
+
+    ``policy`` (a :class:`~repro.campaign.SupervisorPolicy`, or the
+    pool's own default) makes the sharded census fault-tolerant:
+    quarantined packages are dropped from the report dictionary and
+    appended to ``errors`` (when the caller passes a list) as
+    :class:`~repro.campaign.FailedItem` records.
     """
     from repro.campaign import runner as campaign_runner
 
@@ -111,6 +119,8 @@ def analyse_corpus(
                 processes=processes,
                 chunk_size=chunk_size,
                 pool=pool,
+                policy=policy,
+                errors=errors,
             )
         }
 

@@ -55,7 +55,14 @@ from collections.abc import Mapping
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro import telemetry as _telemetry
-from repro.campaign import CampaignPool, ContextCache, worker_count
+from repro.campaign import (
+    CampaignPool,
+    ContextCache,
+    FailedItem,
+    SupervisorPolicy,
+    worker_count,
+)
+from repro.campaign import supervisor as _supervisor
 from repro.telemetry import CacheStats, Metrics
 from repro.herd.simulator import (
     ModelLike,
@@ -94,6 +101,22 @@ class Session:
     ``cache_size`` bounds the shared context cache (``None`` for
     unbounded).  Sessions are context managers — leaving the ``with``
     block shuts the pool down.
+
+    Multi-worker sessions are **fault-tolerant by default**: batch
+    verbs run on the supervised campaign layer
+    (:mod:`repro.campaign.supervisor`), so a worker crash, a chunk
+    exceeding ``chunk_timeout`` seconds, or an unpicklable exception
+    never wedges the batch.  Failing chunks are retried
+    ``max_retries`` times with exponential backoff (base
+    ``retry_backoff`` seconds), dead workers are respawned, and poison
+    items are bisected out and handled per ``on_error``:
+    ``"quarantine"`` (the default — drop them from the results and
+    record :class:`~repro.campaign.FailedItem` entries on the report's
+    ``errors`` and on :attr:`last_errors`), ``"serial_retry"`` (one
+    in-process retry in the parent first) or ``"raise"`` (raise
+    :class:`~repro.campaign.PoisonItemError`).  Supervision counters
+    accumulate in ``stats()["supervisor"]``.  Serial sessions keep the
+    exact in-process semantics — exceptions propagate to the caller.
     """
 
     def __init__(
@@ -104,11 +127,24 @@ class Session:
         processes=None,
         cache_size: Optional[int] = 256,
         telemetry: bool = False,
+        chunk_timeout: Optional[float] = None,
+        on_error: str = "quarantine",
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         self.model = model
         self.engine = engine
         self.strategy = strategy
         self.processes = processes
+        self.policy = SupervisorPolicy(
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
+            backoff=retry_backoff,
+            on_error=on_error,
+        )
+        #: the FailedItem records of the most recent batch verb call.
+        self.last_errors: List[FailedItem] = []
+        self._supervisor_history = _supervisor.new_counters()
         self.context_cache = ContextCache(capacity=cache_size)
         #: (model name, strategy, cycle signature) -> mechanism seed,
         #: shared by every repair of the session (see repro.fences.campaign).
@@ -134,8 +170,12 @@ class Session:
     def close(self) -> None:
         """Shut the campaign pool down (the caches survive; a later
         batch verb restarts the pool lazily) and uninstall this
-        session's telemetry registry if it is the active one."""
+        session's telemetry registry if it is the active one.  The
+        pool's supervision counters are folded into the session history
+        first, so ``stats()["supervisor"]`` survives pool restarts."""
         if self._pool is not None:
+            for name, value in self._pool.counters.items():
+                self._supervisor_history[name] += value
             self._pool.close()
             self._pool = None
         self.disable_telemetry()
@@ -251,7 +291,7 @@ class Session:
         if self.workers <= 1:
             return None
         if self._pool is None:
-            self._pool = CampaignPool(self.processes)
+            self._pool = CampaignPool(self.processes, policy=self.policy)
         return self._pool
 
     def _dispatch(self, model: Optional[ModelLike]):
@@ -266,6 +306,11 @@ class Session:
         if isinstance(spec, str) and self.workers > 1:
             return spec, self.pool()
         return self.resolve(spec), None
+
+    def _fresh_errors(self) -> List[FailedItem]:
+        """Reset and return :attr:`last_errors` for the next batch verb."""
+        self.last_errors = []
+        return self.last_errors
 
     def stats(self) -> Dict[str, Any]:
         """One coherent counter tree (all JSON-plain).
@@ -305,6 +350,11 @@ class Session:
             snapshot = self._telemetry.snapshot()
             telemetry_tree = snapshot.to_dict()
 
+        supervisor_counters = dict(self._supervisor_history)
+        if self._pool is not None:
+            for name, value in self._pool.counters.items():
+                supervisor_counters[name] += value
+
         return {
             "model_cache": {
                 "entries": len(self._models),
@@ -321,6 +371,11 @@ class Session:
                 "started": self._pool is not None,
             },
             "caches": caches,
+            "supervisor": {
+                "policy": self.policy.as_dict(),
+                "counters": supervisor_counters,
+                "last_errors": len(self.last_errors),
+            },
             "telemetry": telemetry_tree,
         }
 
@@ -360,7 +415,7 @@ class Session:
 
             effective = self.engine if engine is None else engine
             jobs = [SimulateJob(test, spec, effective, until) for test in batch]
-            return self.pool().run(simulate_chunk, jobs)
+            return self.pool().run(simulate_chunk, jobs, errors=self._fresh_errors())
         simulator = self.simulator(model, engine)
         return [
             simulator.run(
@@ -423,6 +478,7 @@ class Session:
             engine=self.engine if engine is None else engine,
             context_cache=self.context_cache,
             pool=pool,
+            errors=self._fresh_errors(),
         )
 
     def repair(
@@ -463,6 +519,7 @@ class Session:
             context_cache=self.context_cache,
             pool=pool,
             strategy=strategy,
+            errors=self._fresh_errors(),
         )
         self._count_cycle_traffic(result.reports)
         return result
@@ -527,6 +584,7 @@ class Session:
             processes=self.processes,
             context_cache=self.context_cache,
             pool=pool,
+            errors=self._fresh_errors(),
         )
 
     def _default_chips(self, model: Optional[ModelLike]):
@@ -564,6 +622,7 @@ class Session:
                 max_cycle_length,
                 processes=self.processes,
                 pool=self.pool(),
+                errors=self._fresh_errors(),
             )
         batch = list(programs)
         pool = self.pool()
@@ -577,7 +636,9 @@ class Session:
             ]
             return [
                 MoleReport(name=name, cycles=cycles)
-                for name, cycles in pool.run(mole_chunk, jobs, chunk_size=2)
+                for name, cycles in pool.run(
+                    mole_chunk, jobs, chunk_size=2, errors=self._fresh_errors()
+                )
             ]
         from repro.mole.report import analyse_program
 
@@ -608,6 +669,7 @@ class Session:
             backend=backend,
             processes=self.processes,
             pool=pool,
+            errors=self._fresh_errors(),
         )
 
 

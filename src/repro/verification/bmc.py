@@ -334,6 +334,8 @@ def verify_batch(
     processes=None,
     chunk_size: int = 4,
     pool=None,
+    policy=None,
+    errors: Optional[List] = None,
 ) -> List[VerificationResult]:
     """Verify a batch of programs and/or litmus tests, optionally sharded.
 
@@ -344,6 +346,12 @@ def verify_batch(
     re-hydrate and memoize their own checker per process.  Results come
     back in batch order; ``elapsed_seconds`` is measured wherever the
     query actually ran.
+
+    ``policy`` (a :class:`~repro.campaign.SupervisorPolicy`, or the
+    pool's own default) makes the sharded batch fault-tolerant:
+    quarantined queries are dropped from the results and appended to
+    ``errors`` (when the caller passes a list) as
+    :class:`~repro.campaign.FailedItem` records.
     """
     from repro.campaign import runner as campaign_runner
 
@@ -360,6 +368,8 @@ def verify_batch(
             processes=processes,
             chunk_size=chunk_size,
             pool=pool,
+            policy=policy,
+            errors=errors,
         )
 
     checker = BoundedModelChecker(model, backend)

@@ -47,10 +47,14 @@ ROOT_API = [
 #: The committed public surface of each driver subpackage.
 SUBPACKAGE_API = {
     "repro.campaign": [
+        "CampaignPicklingWarning",
         "CampaignPool",
         "ContextCache",
         "DEFAULT_CHUNK_SIZE",
+        "FailedItem",
+        "PoisonItemError",
         "SimulationContext",
+        "SupervisorPolicy",
         "chunked",
         "run_sharded",
         "test_fingerprint",

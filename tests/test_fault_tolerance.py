@@ -1,0 +1,419 @@
+"""The fault-tolerant campaign runtime, exercised by real faults.
+
+Every guarantee of :mod:`repro.campaign.supervisor` is pinned against a
+deterministically injected failure (:mod:`repro.campaign.faults`): a
+worker killed mid-chunk (``os._exit``, the OOM-kill shape), a chunk
+hanging past its deadline, an exception that cannot cross a process
+boundary, and a payload that cannot even be submitted.  The container
+running CI may expose a single core, so every pooled test sizes its
+pool explicitly with ``processes=2`` — worker counts are never
+inferred from the machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro import Session
+from repro.campaign import (
+    CampaignPicklingWarning,
+    CampaignPool,
+    FailedItem,
+    PoisonItemError,
+    SupervisorPolicy,
+    run_sharded,
+)
+from repro.campaign import faults
+from repro.campaign.faults import FaultSpec, echo_chunk
+from repro.campaign.supervisor import ErrorEnvelope, new_counters
+from repro.diy.families import sweep_family, two_thread_family
+
+JOBS = list(range(17))
+SERIAL = [item * 2 for item in JOBS]
+
+#: Fast-converging policy for the injected-fault tests: one retry and
+#: millisecond backoff keep the whole file quick while still exercising
+#: the retry/backoff/bisection machinery.
+FAST = dict(max_retries=1, backoff=0.01, max_backoff=0.05)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_fault_plan():
+    yield
+    faults.uninstall()
+
+
+def quarantine_run(spec, *, jobs=JOBS, chunk_size=4, **policy_kwargs):
+    """Run echo_chunk over *jobs* with *spec* riding the payload."""
+    errors: list = []
+    policy = SupervisorPolicy(on_error="quarantine", **{**FAST, **policy_kwargs})
+    results = run_sharded(
+        echo_chunk,
+        jobs,
+        payload=spec,
+        processes=2,
+        chunk_size=chunk_size,
+        policy=policy,
+        errors=errors,
+    )
+    return results, errors
+
+
+# -- policy and report types ----------------------------------------------------
+
+
+def test_policy_validates_its_fields():
+    with pytest.raises(ValueError):
+        SupervisorPolicy(on_error="explode")
+    with pytest.raises(ValueError):
+        SupervisorPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        SupervisorPolicy(chunk_timeout=0)
+    assert SupervisorPolicy().as_dict()["on_error"] == "quarantine"
+
+
+def test_policy_backoff_grows_and_saturates():
+    policy = SupervisorPolicy(backoff=0.1, backoff_factor=2.0, max_backoff=0.3)
+    delays = [policy.backoff_seconds(attempt) for attempt in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.3, 0.3]
+
+
+def test_failed_item_is_a_structured_report():
+    envelope = ErrorEnvelope.from_exception(ValueError("boom"))
+    failed = FailedItem(
+        item="sb",
+        phase="verdict_chunk",
+        kind=envelope.kind,
+        error=envelope.error,
+        traceback=envelope.traceback,
+        attempts=3,
+    )
+    tree = failed.to_dict()
+    assert tree["type"] == "failed-item"
+    assert tree["item"] == "sb"
+    assert tree["kind"] == "exception"
+    assert "boom" in tree["error"]
+    assert tree["attempts"] == 3
+    assert "sb" in failed.describe()
+    assert failed.to_json()
+
+
+def test_unpicklable_exceptions_flatten_into_envelopes():
+    import pickle
+
+    try:
+        raise faults.UnpicklableFault("sb")
+    except faults.UnpicklableFault as exc:
+        with pytest.raises(Exception):
+            pickle.dumps(exc)
+        envelope = ErrorEnvelope.from_exception(exc)
+    pickle.dumps(envelope)  # strings only — always crosses the boundary
+    assert "sb" in envelope.error
+
+
+# -- the supervised happy path ---------------------------------------------------
+
+
+def test_supervised_healthy_batch_equals_serial():
+    results, errors = quarantine_run(None)
+    assert results == SERIAL
+    assert errors == []
+
+
+def _counting_chunk(chunk, payload):
+    """Module-level (hence picklable) worker returning (results, extra)."""
+    return [item * 2 for item in chunk], len(chunk)
+
+
+def test_supervised_merge_and_order_with_uneven_chunks():
+    merged: list = []
+
+    results = run_sharded(
+        _counting_chunk,
+        JOBS,
+        processes=2,
+        chunk_size=3,
+        merge=merged.append,
+        policy=SupervisorPolicy(**FAST),
+    )
+    assert results == SERIAL
+    assert sum(merged) == len(JOBS)
+
+
+# -- injected faults, one per failure mode ---------------------------------------
+
+
+def test_worker_crash_quarantines_exactly_the_poison_item():
+    counters = new_counters()
+    errors: list = []
+    with CampaignPool(2, policy=SupervisorPolicy(**FAST)) as pool:
+        results = run_sharded(
+            echo_chunk,
+            JOBS,
+            payload=FaultSpec("crash", repr(7)),
+            chunk_size=4,
+            pool=pool,
+            errors=errors,
+        )
+        counters = pool.stats()
+    assert results == [item * 2 for item in JOBS if item != 7]
+    assert [failure.item for failure in errors] == [repr(7)]
+    assert errors[0].kind == "worker-death"
+    assert errors[0].attempts == 2  # max_retries=1 -> two attempts
+    assert counters["worker_deaths"] >= 1
+    assert counters["respawns"] >= 1
+    assert counters["bisections"] >= 1
+    assert counters["quarantined"] == 1
+
+
+def test_hung_chunk_is_killed_at_the_deadline():
+    results, errors = quarantine_run(
+        FaultSpec("hang", repr(11), hang_seconds=60.0),
+        chunk_timeout=0.4,
+        max_retries=0,
+    )
+    assert results == [item * 2 for item in JOBS if item != 11]
+    assert [failure.item for failure in errors] == [repr(11)]
+    assert errors[0].kind == "timeout"
+
+
+def test_unpicklable_worker_exception_is_contained():
+    results, errors = quarantine_run(FaultSpec("raise_unpicklable", repr(3)))
+    assert results == [item * 2 for item in JOBS if item != 3]
+    assert [failure.item for failure in errors] == [repr(3)]
+    assert "unpicklable fault injected" in errors[0].error
+
+
+def test_plain_worker_exception_keeps_its_traceback():
+    results, errors = quarantine_run(FaultSpec("raise", repr(5)))
+    assert results == [item * 2 for item in JOBS if item != 5]
+    assert errors[0].kind == "exception"
+    assert "FaultInjected" in errors[0].traceback
+
+
+def test_raise_policy_names_the_poison_item():
+    with pytest.raises(PoisonItemError) as excinfo:
+        run_sharded(
+            echo_chunk,
+            JOBS,
+            payload=FaultSpec("raise", repr(9)),
+            processes=2,
+            chunk_size=4,
+            policy=SupervisorPolicy(on_error="raise", **FAST),
+        )
+    assert repr(9) in str(excinfo.value)
+    assert [failure.item for failure in excinfo.value.failures] == [repr(9)]
+
+
+def test_serial_retry_heals_worker_only_faults():
+    # only_in_worker=True (the default) records this process's pid, so
+    # the in-process retry of the poison item succeeds.
+    errors: list = []
+    results = run_sharded(
+        echo_chunk,
+        JOBS,
+        payload=FaultSpec("crash", repr(7)),
+        processes=2,
+        chunk_size=4,
+        policy=SupervisorPolicy(on_error="serial_retry", **FAST),
+        errors=errors,
+    )
+    assert results == SERIAL
+    assert errors == []
+
+
+def test_two_poison_items_both_bisected_out():
+    # One spec can only name one target; the second fault rides the
+    # global plan, which echo_chunk's trip() hook consults per item.
+    faults.install(FaultSpec("raise", repr(2)))
+    errors: list = []
+    results = run_sharded(
+        echo_chunk,
+        JOBS,
+        payload=FaultSpec("raise", repr(13)),
+        processes=2,
+        chunk_size=4,
+        policy=SupervisorPolicy(**FAST),
+        errors=errors,
+    )
+    assert results == [item * 2 for item in JOBS if item not in (2, 13)]
+    assert sorted(failure.item for failure in errors) == [repr(13), repr(2)]
+
+
+def test_serial_fallback_applies_the_same_policy():
+    # workers<=1 degrades to in-process supervision: exceptions are
+    # still captured, bisected and quarantined (crashes need real
+    # worker processes and are out of scope serially).
+    spec = FaultSpec("raise", repr(5), only_in_worker=False)
+    errors: list = []
+    results = run_sharded(
+        echo_chunk,
+        JOBS,
+        payload=spec,
+        processes=1,
+        chunk_size=4,
+        policy=SupervisorPolicy(**FAST),
+        errors=errors,
+    )
+    assert results == [item * 2 for item in JOBS if item != 5]
+    assert [failure.item for failure in errors] == [repr(5)]
+
+
+# -- the pool heals and shuts down cleanly ---------------------------------------
+
+
+def test_pool_self_heals_across_batches():
+    with CampaignPool(2, policy=SupervisorPolicy(**FAST)) as pool:
+        errors: list = []
+        first = pool.run(
+            echo_chunk,
+            JOBS,
+            payload=FaultSpec("crash", repr(4)),
+            chunk_size=4,
+            errors=errors,
+        )
+        assert len(errors) == 1
+        assert first == [item * 2 for item in JOBS if item != 4]
+        # The crashed workers were respawned: a clean follow-up batch
+        # on the same pool is complete.
+        second = pool.run(echo_chunk, JOBS, chunk_size=4)
+        assert second == SERIAL
+        stats = pool.stats()
+        assert stats["respawns"] >= 1
+        assert stats["quarantined"] == 1
+
+
+def test_close_leaves_no_worker_processes_behind():
+    pool = CampaignPool(2, policy=SupervisorPolicy(**FAST))
+    assert pool.run(echo_chunk, JOBS, chunk_size=4) == SERIAL
+    pool.close()
+    leftovers = [
+        process
+        for process in multiprocessing.active_children()
+        if process.name == "campaign-supervised-worker"
+    ]
+    assert leftovers == []
+
+
+# -- unpicklable payloads fall back to serial ------------------------------------
+
+
+def test_unpicklable_payload_falls_back_serially_legacy_path():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results = run_sharded(
+            echo_chunk, JOBS, payload=lambda: None, processes=2, chunk_size=4
+        )
+    assert results == SERIAL
+    pickling = [w for w in caught if issubclass(w.category, CampaignPicklingWarning)]
+    assert len(pickling) == 1
+    assert "lambda" in str(pickling[0].message)
+
+
+def test_unpicklable_payload_falls_back_serially_supervised_path():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results, errors = quarantine_run(lambda: None)
+    assert results == SERIAL
+    assert errors == []
+    assert any(issubclass(w.category, CampaignPicklingWarning) for w in caught)
+
+
+def test_pool_survives_an_unpicklable_payload():
+    with CampaignPool(2) as pool:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CampaignPicklingWarning)
+            assert pool.run(echo_chunk, JOBS, payload=lambda: None) == SERIAL
+        # The pool is still usable for a picklable follow-up batch.
+        assert pool.run(echo_chunk, JOBS, chunk_size=4) == SERIAL
+
+
+# -- the session front door ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def family():
+    # 12 tests > the default chunk size of 8, so session sweeps span
+    # several chunks and actually exercise the pooled supervisor (a
+    # single-chunk batch degrades to the in-process serial path, where
+    # worker-only faults deliberately never fire).
+    return two_thread_family("power", limit=12)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(family):
+    with Session(model="power") as session:
+        return session.sweep(family)
+
+
+def test_session_sweep_quarantines_a_crashed_test(family, serial_sweep):
+    victim = family[3].name
+    faults.install(FaultSpec("crash", victim))
+    with Session(model="power", processes=2, max_retries=1, retry_backoff=0.01) as session:
+        swept = session.sweep(family)
+        assert [failure.item for failure in swept.errors] == [victim]
+        assert swept.errors[0].phase == "verdict_chunk"
+        survivors = [v for v in serial_sweep.verdicts if v[0] != victim]
+        assert list(swept.verdicts) == survivors
+        assert session.last_errors == list(swept.errors)
+        supervisor = session.stats()["supervisor"]
+        assert supervisor["counters"]["worker_deaths"] >= 1
+        assert supervisor["counters"]["quarantined"] == 1
+        assert supervisor["last_errors"] == 1
+        assert supervisor["policy"]["on_error"] == "quarantine"
+    faults.uninstall()
+
+
+def test_session_serial_retry_heals_and_counts(family, serial_sweep):
+    faults.install(FaultSpec("crash", family[2].name))
+    with Session(
+        model="power",
+        processes=2,
+        on_error="serial_retry",
+        max_retries=0,
+        retry_backoff=0.01,
+    ) as session:
+        swept = session.sweep(family)
+        assert swept.verdicts == serial_sweep.verdicts
+        assert swept.errors == ()
+        assert session.stats()["supervisor"]["counters"]["serial_retries"] >= 1
+    faults.uninstall()
+
+
+def test_session_chunk_timeout_reaches_the_policy():
+    session = Session(model="power", processes=2, chunk_timeout=1.5)
+    assert session.policy.chunk_timeout == 1.5
+    assert session.stats()["supervisor"]["policy"]["chunk_timeout"] == 1.5
+    session.close()
+
+
+def test_session_counters_survive_pool_restarts(family):
+    faults.install(FaultSpec("raise", family[1].name))
+    with Session(model="power", processes=2, max_retries=0, retry_backoff=0.01) as session:
+        session.sweep(family)
+        session.close()  # folds pool counters into the session history
+        faults.uninstall()
+        session.sweep(family)  # clean run on a fresh lazily-started pool
+        counters = session.stats()["supervisor"]["counters"]
+        assert counters["quarantined"] == 1
+
+
+def test_driver_level_errors_ride_the_report_types(family, serial_sweep):
+    errors: list = []
+    faults.install(FaultSpec("raise", family[0].name))
+    swept = sweep_family(
+        family,
+        "power",
+        processes=2,
+        policy=SupervisorPolicy(**FAST),
+        errors=errors,
+    )
+    faults.uninstall()
+    assert list(swept.errors) == errors
+    assert len(errors) == 1
+    tree = swept.to_dict()
+    assert tree["errors"][0]["item"] == family[0].name
+    assert "quarantined" in swept.describe()
