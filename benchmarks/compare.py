@@ -12,11 +12,16 @@ but never fail the comparison (new benchmarks appear, old ones retire).
 A missing baseline file, or a benchmark entry without usable
 ``stats``/``mean`` keys, is skipped with a warning rather than crashing
 the job: a freshly added benchmark suite has no committed baseline yet,
-and that must not fail CI.  When a regression *is* flagged, every
-numeric ``extra_info`` metric the two records share is printed as a
-per-metric delta table — so a timing regression arrives with the
-counter evidence (cache hits, validation counts, worker utilization)
-needed to tell an algorithmic regression from machine noise.
+and that must not fail CI.  Schema drift between the two files is
+tolerated the same way: a record whose mean is zero, negative or NaN
+(a hand-edited or corrupted baseline) is *skipped with a warning*, not
+flagged as an infinite-ratio regression, and ``extra_info`` metrics
+present on only one side are reported informationally instead of being
+dropped.  When a regression *is* flagged, every numeric ``extra_info``
+metric the two records share is printed as a per-metric delta table —
+so a timing regression arrives with the counter evidence (cache hits,
+validation counts, worker utilization) needed to tell an algorithmic
+regression from machine noise.
 
 The committed ``BENCH_*.json`` baselines were recorded with::
 
@@ -57,9 +62,13 @@ def load_benchmarks(path: str) -> Dict[str, Dict]:
         if name is None:
             _warn(f"{path}: benchmark entry without a name, skipped")
             continue
-        mean = bench.get("stats", {}).get("mean")
-        if not isinstance(mean, (int, float)):
+        stats = bench.get("stats")
+        mean = stats.get("mean") if isinstance(stats, dict) else None
+        if isinstance(mean, bool) or not isinstance(mean, (int, float)):
             _warn(f"{path}: {name} has no stats.mean, skipped")
+            continue
+        if not mean > 0:  # also rejects NaN
+            _warn(f"{path}: {name} has unusable stats.mean {mean!r}, skipped")
             continue
         records[name] = {
             "mean": float(mean),
@@ -86,7 +95,13 @@ def compare(baseline: Dict[str, float], current: Dict[str, float], threshold: fl
         if cur is None:
             rows.append((name, base, None, None, "removed"))
             continue
-        ratio = cur / base if base else float("inf")
+        if not base > 0 or not cur > 0:
+            # Schema drift or a corrupted record: never an inf-ratio
+            # "regression", just an explicitly skipped row.
+            _warn(f"{name}: unusable mean(s) base={base!r} cur={cur!r}, skipped")
+            rows.append((name, base, cur, None, "skipped"))
+            continue
+        ratio = cur / base
         status = "ok"
         if ratio > 1.0 + threshold:
             status = "REGRESSION"
@@ -106,13 +121,23 @@ def _numeric_extra_info(record: Dict) -> Dict[str, float]:
 
 
 def metric_deltas(base_record: Dict, cur_record: Dict):
-    """(metric, base, current, delta_fraction) rows for the numeric
-    ``extra_info`` metrics two benchmark records share."""
+    """(metric, base, current, delta_fraction) rows over the *union* of
+    the two records' numeric ``extra_info`` metrics.
+
+    Keys the records share get a relative delta; keys present on only
+    one side — baseline schema drift — are still listed, with ``None``
+    for the missing value and delta, so a renamed or newly added metric
+    shows up in the evidence table instead of silently vanishing.
+    """
     base_metrics = _numeric_extra_info(base_record)
     cur_metrics = _numeric_extra_info(cur_record)
     rows = []
-    for key in sorted(set(base_metrics) & set(cur_metrics)):
-        base, cur = base_metrics[key], cur_metrics[key]
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(key)
+        cur = cur_metrics.get(key)
+        if base is None or cur is None:
+            rows.append((key, base, cur, None))
+            continue
         delta = (cur - base) / base if base else None
         rows.append((key, base, cur, delta))
     return rows
@@ -121,12 +146,14 @@ def metric_deltas(base_record: Dict, cur_record: Dict):
 def print_metric_deltas(name: str, base_record: Dict, cur_record: Dict) -> None:
     rows = metric_deltas(base_record, cur_record)
     if not rows:
-        print("    (no shared numeric extra_info metrics)", file=sys.stderr)
+        print("    (no numeric extra_info metrics)", file=sys.stderr)
         return
     for key, base, cur, delta in rows:
         delta_s = f"{delta:+7.1%}" if delta is not None else "      -"
+        base_s = f"{base:>12.4g}" if base is not None else f"{'-':>12}"
+        cur_s = f"{cur:>12.4g}" if cur is not None else f"{'-':>12}"
         print(
-            f"    {delta_s}  {base:>12.4g} -> {cur:>12.4g}  {key}",
+            f"    {delta_s}  {base_s} -> {cur_s}  {key}",
             file=sys.stderr,
         )
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Serve verdicts over HTTP: the resilient front door to a session.
+
+A long-running herding campaign wants one warm :class:`repro.Session`
+— hot caches, a supervised worker pool — shared by many callers.  The
+:mod:`repro.service` package wraps one session in a small asyncio HTTP
+server with admission control, per-request deadlines, micro-batching
+and a circuit breaker that degrades to in-process serial execution
+when the worker pool misbehaves.
+
+This example starts the service on a background thread (the same code
+path ``python -m repro.service`` uses behind a real port), talks to it
+with :class:`repro.service.ServiceClient`, and reads the operational
+counters back from ``GET /stats``.
+
+Run with::
+
+    python examples/serve_verdicts.py
+"""
+
+import threading
+
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+SB_X86 = """
+X86 my-sb
+{ x=0; y=0; }
+ P0          | P1          ;
+ mov r1,$1   | mov r1,$1   ;
+ mov [x],r1  | mov [y],r1  ;
+ mov r2,[y]  | mov r2,[x]  ;
+exists (0:r2=0 /\\ 1:r2=0)
+"""
+
+
+def main() -> None:
+    config = ServiceConfig(port=0, batch_window=0.005)  # port=0: pick a free one
+    with ServiceThread(config=config, model="power", processes=2) as handle:
+        host, port = handle.address
+        print(f"== verdict service listening on http://{host}:{port}")
+        client = ServiceClient(host, port)
+
+        # -- verdicts by registry name, with a per-request deadline ----------
+        response = client.verdict(["sb", "mp", "lb"], deadline=30.0)
+        print("\n== POST /verdict (registry names)")
+        for line in response.results:
+            print(f"  {line['test']:8s} {line['status']:8s} {line['verdict']}")
+
+        # -- a verdict for litmus source, under a different model ------------
+        response = client.verdict([{"source": SB_X86}], model="tso")
+        print("\n== POST /verdict (inline litmus source, model=tso)")
+        for line in response.results:
+            print(f"  {line['test']:8s} {line['status']:8s} {line['verdict']}")
+
+        # -- repair: the service batches it onto the same warm pool ----------
+        response = client.repair(["sb"], deadline=60.0)
+        print("\n== POST /repair")
+        for line in response.results:
+            report = line["report"]
+            print(
+                f"  {report['test']}: {report['before_verdict']} -> "
+                f"{report['after_verdict']} via {report['mechanisms']}"
+            )
+
+        # -- concurrent clients coalesce into shared campaign batches --------
+        def one_request(results, index):
+            results[index] = client.verdict(["sb", "mp"], deadline=30.0).ok
+
+        results = [None] * 4
+        threads = [
+            threading.Thread(target=one_request, args=(results, i)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results), results
+
+        stats = client.stats()["service"]["counters"]
+        print("\n== GET /stats after the concurrent burst")
+        print(f"  admitted      {stats['admitted']}")
+        print(f"  batches       {stats['batches']}")
+        print(f"  batched items {stats['batched_items']}")
+        print(f"  shed (429)    {stats['shed']}")
+        print(f"  breaker       {client.healthz()['breaker']}")
+
+    print("\n== drained: in-flight work finished, pool closed, exit clean")
+
+
+if __name__ == "__main__":
+    main()

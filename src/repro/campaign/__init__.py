@@ -38,6 +38,7 @@ from repro.campaign.runner import (
 )
 from repro.campaign.supervisor import (
     CampaignPicklingWarning,
+    ErrorRing,
     FailedItem,
     PoisonItemError,
     SupervisorPolicy,
@@ -50,6 +51,7 @@ __all__ = [
     "CampaignPool",
     "CampaignPicklingWarning",
     "DEFAULT_CHUNK_SIZE",
+    "ErrorRing",
     "FailedItem",
     "PoisonItemError",
     "SupervisorPolicy",

@@ -148,14 +148,21 @@ class ContextCache:
     loop creates a fresh spliced test per candidate fence set, and each
     spliced test gets (correctly) its own context; evicting the least
     recently used entries keeps the working set to the tests actually
-    being re-queried.  ``hits``/``misses`` feed the benchmarks.
+    being re-queried.  ``ttl`` (seconds, ``None`` for no expiry) adds an
+    *idle* bound for long-lived owners like the verdict service: an
+    entry untouched for ``ttl`` seconds counts as evicted and is rebuilt
+    on its next use.  ``hits``/``misses`` feed the benchmarks.
     """
 
-    def __init__(self, capacity: Optional[int] = 256):
+    def __init__(self, capacity: Optional[int] = 256, ttl: Optional[float] = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
         self.capacity = capacity
+        self.ttl = ttl
         self._entries: "OrderedDict[Fingerprint, SimulationContext]" = OrderedDict()
+        self._stamps: Dict[Fingerprint, float] = {}
         from repro.telemetry import CacheStats
 
         #: counters on the unified interface; ``hits``/``misses``/
@@ -179,26 +186,43 @@ class ContextCache:
 
     def get(self, test: LitmusTest) -> SimulationContext:
         """The context of *test*, building (and caching) it on a miss."""
+        import time
+
         key = test_fingerprint(test)
+        now = time.monotonic()
         context = self._entries.get(key)
+        if context is not None and self.ttl is not None:
+            if now - self._stamps.get(key, now) > self.ttl:
+                # Idle-expired: the entry counts as evicted, the access
+                # as a miss, and the context is rebuilt below.
+                del self._entries[key]
+                self._stamps.pop(key, None)
+                self._stats.evict()
+                context = None
         if context is not None:
             self._stats.hit()
             self._entries.move_to_end(key)
+            self._stamps[key] = now
             return context
         self._stats.miss()
         context = SimulationContext(test)
         self._entries[key] = context
+        self._stamps[key] = now
         if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._stamps.pop(evicted, None)
             self._stats.evict()
         return context
 
     def invalidate(self, test: LitmusTest) -> bool:
         """Drop *test*'s entry; True when one was present."""
-        return self._entries.pop(test_fingerprint(test), None) is not None
+        key = test_fingerprint(test)
+        self._stamps.pop(key, None)
+        return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         self._entries.clear()
+        self._stamps.clear()
 
     def cache_stats(self):
         """The cache's :class:`repro.telemetry.CacheStats`."""

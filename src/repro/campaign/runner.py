@@ -129,6 +129,7 @@ def _serial_supervised(
     make_args: Callable[[List[Any]], Tuple[Any, ...]],
     chunks: Sequence[List[Any]],
     counters: Dict[str, float],
+    policy: Optional[SupervisorPolicy] = None,
 ):
     """The supervised semantics without processes: capture and bisect.
 
@@ -136,12 +137,30 @@ def _serial_supervised(
     the poison item exactly as the pooled supervisor does, so a policy
     behaves the same when the pool degrades to the serial fallback.
     Crashes and hangs cannot be contained in-process — those need real
-    worker processes.
+    worker processes.  A batch ``policy.deadline`` is honoured at slice
+    boundaries: a running chunk cannot be interrupted in-process, but
+    once the deadline passes every remaining slice fails fast as a
+    ``timeout`` instead of being executed.
     """
     successes: List[Tuple[int, int, Any]] = []
     failures: List[_supervisor._Failure] = []
 
     def run_slice(chunk_index: int, offset: int, items: List[Any]) -> None:
+        if policy is not None and policy.expired():
+            _supervisor._bump(counters, "deadline_exhausted", len(items))
+            for position, item in enumerate(items):
+                failures.append(
+                    _supervisor._Failure(
+                        chunk_index=chunk_index,
+                        offset=offset + position,
+                        item=item,
+                        kind="timeout",
+                        error="batch deadline exhausted before dispatch",
+                        traceback="",
+                        attempts=1,
+                    )
+                )
+            return
         status, value = guarded_call(run_worker, make_args(items))
         if status == "ok":
             successes.append((chunk_index, offset, value))
@@ -189,9 +208,14 @@ def _run_supervised(
     counters = pool.counters if pool is not None else _supervisor.new_counters()
     effective = pool.workers if pool is not None else worker_count(processes)
 
-    if effective <= 1 or len(chunks) <= 1:
+    # A single chunk only stays in-process when there is no warm pool:
+    # spawning workers for one chunk buys nothing, but with a pool
+    # already up, real workers are what make a chunk *killable* — a
+    # hang or crash in a single-chunk batch must still be contained
+    # (the verdict service counts on this for one-test requests).
+    if effective <= 1 or (pool is None and len(chunks) <= 1):
         successes, failures = _serial_supervised(
-            run_worker, make_args, chunks, counters
+            run_worker, make_args, chunks, counters, policy
         )
     elif pool is not None:
         successes, failures = pool.supervised().run_tasks(
@@ -209,11 +233,13 @@ def _run_supervised(
     failed_items: List[FailedItem] = []
     for failure in failures:
         attempts = failure.attempts
-        if policy.on_error == "serial_retry":
+        if policy.on_error == "serial_retry" and not policy.expired():
             # Graceful degradation: one in-process attempt in the
             # parent.  Worker-only faults (a chunk that OOMs the worker,
             # an environment-dependent crash) heal here, preserving the
-            # sharded==serial guarantee for the retried item too.
+            # sharded==serial guarantee for the retried item too.  A
+            # blown batch deadline skips the retry — re-running poison
+            # items serially is exactly how a deadline gets pinned.
             _supervisor._bump(counters, "serial_retries")
             attempts += 1
             status, value = guarded_call(run_worker, make_args([failure.item]))
@@ -428,6 +454,7 @@ class CampaignPool:
         self.counters: Dict[str, float] = _supervisor.new_counters()
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._supervised: Optional[SupervisedPool] = None
+        self._close_lock = threading.Lock()
 
     def __enter__(self) -> "CampaignPool":
         return self
@@ -442,21 +469,42 @@ class CampaignPool:
         finish their in-flight chunk and exit; stragglers are
         terminated.  The supervision counters survive ``close`` — a
         pool restarted by a later batch keeps accumulating into them.
+
+        Idempotent and thread-safe: repeated or concurrent ``close``
+        calls — including after a worker has already died — tear each
+        pool down exactly once and simply return afterwards, so every
+        shutdown path (``__exit__``, a service drain, an ``atexit``
+        hook) may call it without coordinating.
         """
         if grace is None:
             grace = self.policy.grace if self.policy is not None else DEFAULT_GRACE
-        if self._pool is not None:
-            _graceful_mp_close(self._pool, grace)
-            self._pool = None
-        if self._supervised is not None:
-            self._supervised.close(grace)
-            self._supervised = None
+        with self._close_lock:
+            mp_pool, self._pool = self._pool, None
+            supervised, self._supervised = self._supervised, None
+        if mp_pool is not None:
+            _graceful_mp_close(mp_pool, grace)
+        if supervised is not None:
+            supervised.close(grace)
+
+    def abort(self) -> None:
+        """Abort the supervised batch running on this pool, if any.
+
+        Thread-safe: meant to be called from a watchdog (the verdict
+        service's drain-window expiry) while another thread is blocked
+        inside :meth:`run` — that batch fails its unfinished items as
+        ``aborted`` and returns promptly, after which :meth:`close` can
+        shut the workers down without waiting out a long chunk.
+        """
+        supervised = self._supervised
+        if supervised is not None:
+            supervised.abort()
 
     def supervised(self) -> SupervisedPool:
         """This pool's supervised process group (started lazily)."""
-        if self._supervised is None:
-            self._supervised = SupervisedPool(self.workers, self.counters)
-        return self._supervised
+        with self._close_lock:
+            if self._supervised is None:
+                self._supervised = SupervisedPool(self.workers, self.counters)
+            return self._supervised
 
     def stats(self) -> Dict[str, float]:
         """A copy of the supervision counters (zeros when never used)."""

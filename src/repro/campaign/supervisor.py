@@ -44,11 +44,13 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import threading
 import time
 import traceback
 import warnings
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import telemetry as _telemetry
 from repro.report import JsonReportMixin
@@ -56,6 +58,7 @@ from repro.report import JsonReportMixin
 __all__ = [
     "CampaignPicklingWarning",
     "ErrorEnvelope",
+    "ErrorRing",
     "FailedItem",
     "PoisonItemError",
     "SupervisedPool",
@@ -80,6 +83,8 @@ COUNTER_NAMES = (
     "quarantined",
     "serial_retries",
     "unpicklable_payloads",
+    "deadline_exhausted",
+    "aborted",
 )
 
 
@@ -121,6 +126,13 @@ class SupervisorPolicy:
 
     ``grace`` is the shutdown grace period: ``close()`` asks workers to
     finish and waits this long before escalating to ``terminate()``.
+
+    ``deadline`` is an absolute ``time.monotonic()`` point bounding the
+    whole *batch* (``None`` for unbounded): once it passes, no retry or
+    bisection round is scheduled, undispatched chunks fail fast as
+    ``timeout`` quarantines, and in-flight attempts are capped at it.
+    Build deadline-carrying policies with :meth:`with_budget` — the
+    verdict service derives one per request from the client's budget.
     """
 
     chunk_timeout: Optional[float] = None
@@ -130,6 +142,7 @@ class SupervisorPolicy:
     max_backoff: float = 2.0
     on_error: str = "quarantine"
     grace: float = 5.0
+    deadline: Optional[float] = None
 
     def __post_init__(self):
         if self.on_error not in ("quarantine", "raise", "serial_retry"):
@@ -149,6 +162,33 @@ class SupervisorPolicy:
             self.max_backoff,
         )
 
+    def with_budget(self, seconds: float) -> "SupervisorPolicy":
+        """This policy bounded to *seconds* of wall clock from now.
+
+        Sets :attr:`deadline` to ``time.monotonic() + seconds`` and caps
+        :attr:`chunk_timeout` at the budget, so a single slow chunk can
+        never pin the batch past it.  The budget is floored at a few
+        milliseconds — an already-blown budget still produces a policy
+        that fails every chunk fast rather than a validation error.
+        """
+        seconds = max(float(seconds), 0.005)
+        timeout = (
+            seconds
+            if self.chunk_timeout is None
+            else min(self.chunk_timeout, seconds)
+        )
+        return dataclasses.replace(
+            self,
+            chunk_timeout=timeout,
+            deadline=time.monotonic() + seconds,
+        )
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Has the batch deadline passed (always False when unbounded)?"""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "chunk_timeout": self.chunk_timeout,
@@ -158,6 +198,7 @@ class SupervisorPolicy:
             "max_backoff": self.max_backoff,
             "on_error": self.on_error,
             "grace": self.grace,
+            "deadline": self.deadline,
         }
 
 
@@ -236,6 +277,68 @@ class PoisonItemError(RuntimeError):
         super().__init__(
             f"{len(self.failures)} campaign item(s) failed terminally: {names} "
             f"(first: {self.failures[0].describe() if self.failures else '?'})"
+        )
+
+
+class ErrorRing:
+    """A bounded error sink: the newest *capacity* records, drops counted.
+
+    Campaign verbs append :class:`FailedItem` records to their caller's
+    ``errors`` sink; a long-lived owner (``Session.last_errors``, the
+    verdict service) that never pruned it would leak memory across
+    batches.  The ring keeps only the most recent *capacity* records,
+    counts everything it sheds in :attr:`dropped` (which survives
+    :meth:`clear`, so ``stats()`` reports lifetime drops), and behaves
+    like the list the drivers expect: ``append``/``extend``, slicing,
+    iteration, and equality against lists and tuples.
+    """
+
+    __slots__ = ("_items", "dropped")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._items: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._items.maxlen or 0
+
+    def append(self, item: Any) -> None:
+        if len(self._items) == self._items.maxlen:
+            self.dropped += 1
+        self._items.append(item)
+
+    def extend(self, items: Sequence[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def clear(self) -> None:
+        """Forget the records (the lifetime drop count survives)."""
+        self._items.clear()
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index):
+        return list(self._items)[index]
+
+    def __eq__(self, other: Any):
+        if isinstance(other, (ErrorRing, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorRing({list(self._items)!r}, capacity={self.capacity}, "
+            f"dropped={self.dropped})"
         )
 
 
@@ -420,6 +523,8 @@ class SupervisedPool:
             self._ctx = multiprocessing.get_context()
         self._members: List[_Worker] = []
         self._task_ids = 0
+        self._close_lock = threading.Lock()
+        self._abort = threading.Event()
 
     # -- process lifecycle --------------------------------------------------------
 
@@ -457,14 +562,29 @@ class SupervisedPool:
         self._members.append(self._spawn())
         _bump(self.counters, "respawns")
 
+    def abort(self) -> None:
+        """Ask a :meth:`run_tasks` loop in another thread to stop now.
+
+        The supervise loop notices within one wait quantum, kills its
+        in-flight workers, fails every unfinished item as ``aborted``
+        and returns — unblocking a thread stuck on a long batch so the
+        owner can :meth:`close`.  Safe to call with no batch running
+        (the flag is cleared when the next batch starts).
+        """
+        self._abort.set()
+
     def close(self, grace: float = 5.0) -> None:
         """Graceful shutdown: sentinel, bounded join, then terminate.
 
         Workers drain their current task and exit on the sentinel, so
         caches flush and in-flight telemetry snapshots are not lost;
         only workers still alive after *grace* seconds are terminated.
+        Idempotent and thread-safe: repeated or concurrent ``close``
+        calls (including with members already dead) are no-ops beyond
+        the first — each worker is torn down exactly once.
         """
-        members, self._members = self._members, []
+        with self._close_lock:
+            members, self._members = self._members, []
         for worker in members:
             try:
                 worker.conn.send(None)
@@ -507,6 +627,7 @@ class SupervisedPool:
         (quarantine / serial retry / raise) is the caller's job — this
         loop only isolates.
         """
+        self._abort.clear()
         pending: List[_Task] = [
             _Task(index, 0, list(chunk)) for index, chunk in enumerate(chunks)
         ]
@@ -514,6 +635,21 @@ class SupervisedPool:
         failures: List[_Failure] = []
         in_flight: Dict[int, _Worker] = {}
         warned_unpicklable = False
+
+        def record_terminal(task: _Task, kind: str, error: str, tb: str) -> None:
+            """Every item of *task* has terminally failed — one record each."""
+            for position, item in enumerate(task.items):
+                failures.append(
+                    _Failure(
+                        chunk_index=task.chunk_index,
+                        offset=task.offset + position,
+                        item=item,
+                        kind=kind,
+                        error=error,
+                        traceback=tb,
+                        attempts=max(task.attempts, 1),
+                    )
+                )
 
         def fail_task(task: _Task, kind: str, error: str, tb: str) -> None:
             """Retry, bisect, or record terminal failure for *task*."""
@@ -524,13 +660,18 @@ class SupervisedPool:
             elif kind == "worker-death":
                 _bump(self.counters, "worker_deaths")
             if task.attempts <= policy.max_retries:
-                _bump(self.counters, "retries")
                 backoff = policy.backoff_seconds(task.attempts)
-                _bump(self.counters, "backoff_seconds", backoff)
-                task.ready_at = time.monotonic() + backoff
-                pending.append(task)
-                return
-            if len(task.items) > 1:
+                ready_at = time.monotonic() + backoff
+                # A retry that could not even start before the batch
+                # deadline is no retry at all — fall through to bisect
+                # (which dispatches immediately) or terminal failure.
+                if policy.deadline is None or ready_at < policy.deadline:
+                    _bump(self.counters, "retries")
+                    _bump(self.counters, "backoff_seconds", backoff)
+                    task.ready_at = ready_at
+                    pending.append(task)
+                    return
+            if len(task.items) > 1 and not policy.expired():
                 # Terminal for the chunk, not yet for any item: bisect.
                 _bump(self.counters, "bisections")
                 middle = len(task.items) // 2
@@ -545,17 +686,7 @@ class SupervisedPool:
                     )
                 )
                 return
-            failures.append(
-                _Failure(
-                    chunk_index=task.chunk_index,
-                    offset=task.offset,
-                    item=task.items[0],
-                    kind=kind,
-                    error=error,
-                    traceback=tb,
-                    attempts=task.attempts,
-                )
-            )
+            record_terminal(task, kind, error, tb)
 
         def handle_outcome(task: _Task, outcome: Tuple[str, Any]) -> None:
             status, value = outcome
@@ -586,11 +717,18 @@ class SupervisedPool:
                 pending.append(task)
                 return False
             worker.task = task
-            worker.deadline = (
+            attempt_deadline = (
                 time.monotonic() + policy.chunk_timeout
                 if policy.chunk_timeout is not None
                 else None
             )
+            if policy.deadline is not None:
+                attempt_deadline = (
+                    policy.deadline
+                    if attempt_deadline is None
+                    else min(attempt_deadline, policy.deadline)
+                )
+            worker.deadline = attempt_deadline
             in_flight[id(worker)] = worker
             return True
 
@@ -615,8 +753,55 @@ class SupervisedPool:
 
         while pending or in_flight:
             now = time.monotonic()
+            # -- abort: another thread asked this batch to stop now -----------
+            if self._abort.is_set():
+                aborted = sum(len(task.items) for task in pending) + sum(
+                    len(worker.task.items)
+                    for worker in in_flight.values()
+                    if worker.task is not None
+                )
+                _bump(self.counters, "aborted", aborted)
+                for worker in list(in_flight.values()):
+                    task = worker.task
+                    in_flight.pop(id(worker), None)
+                    self._discard(worker)
+                    if task is not None:
+                        record_terminal(
+                            task, "aborted", "batch aborted by pool shutdown", ""
+                        )
+                for task in pending:
+                    record_terminal(
+                        task, "aborted", "batch aborted by pool shutdown", ""
+                    )
+                pending.clear()
+                break
+            # -- batch deadline: fail undispatched work fast ------------------
+            if policy.deadline is not None and now >= policy.deadline and pending:
+                _bump(
+                    self.counters,
+                    "deadline_exhausted",
+                    sum(len(task.items) for task in pending),
+                )
+                for task in pending:
+                    record_terminal(
+                        task,
+                        "timeout",
+                        "batch deadline exhausted before dispatch",
+                        "",
+                    )
+                pending.clear()
+                if not in_flight:
+                    break
             # -- assign ready tasks to idle, healthy workers ------------------
             if pending:
+                # A worker that died while idle (OOM-killed, crashed
+                # between batches) still occupies a member slot: without
+                # this sweep it is never dispatched to and never
+                # replaced — silent capacity loss.
+                for worker in list(self._members):
+                    if worker.task is None and not worker.process.is_alive():
+                        _bump(self.counters, "worker_deaths")
+                        self._replace(worker)
                 self._ensure_members()
                 idle = [
                     worker
@@ -708,15 +893,15 @@ class SupervisedPool:
             for worker in list(in_flight.values()):
                 if worker.deadline is not None and now >= worker.deadline:
                     budget = policy.chunk_timeout
+                    description = (
+                        f"chunk exceeded its {budget:g}s deadline"
+                        if budget is not None
+                        else "chunk exceeded the batch deadline"
+                    )
                     in_flight.pop(id(worker), None)
                     task = worker.task
                     self._replace(worker)
                     if task is not None:
-                        fail_task(
-                            task,
-                            "timeout",
-                            f"chunk exceeded its {budget:g}s deadline",
-                            "",
-                        )
+                        fail_task(task, "timeout", description, "")
 
         return successes, failures

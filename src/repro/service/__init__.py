@@ -1,0 +1,40 @@
+"""The resilient verdict service: HTTP front-end over one Session.
+
+See :mod:`repro.service.app` for the design: bounded admission with
+load shedding, per-request deadlines propagated into the supervisor,
+micro-batching onto the warm campaign pool, a circuit breaker that
+degrades to serial in-process execution when supervisor incidents
+spike, and graceful drain on SIGTERM.
+
+Run a server::
+
+    python -m repro.service --port 8787 --processes 4
+
+or in-process::
+
+    from repro.service import ServiceThread, ServiceConfig, ServiceClient
+
+    with ServiceThread(processes=2, config=ServiceConfig(port=0)) as handle:
+        client = ServiceClient(*handle.address)
+        print(client.verdict(["sb", "mp"], model="power").results)
+"""
+
+from repro.service.app import ServiceThread, VerdictService, serve
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.client import ServiceClient, ServiceResponse
+from repro.service.config import ServiceConfig
+from repro.service.http import HttpError
+
+__all__ = [
+    "VerdictService",
+    "ServiceThread",
+    "serve",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "ServiceClient",
+    "ServiceResponse",
+    "HttpError",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]

@@ -1,0 +1,116 @@
+"""Command line for the verdict service: ``python -m repro.service``.
+
+Binds the listener (``--port 0`` picks a free port and prints it),
+serves until SIGTERM/SIGINT, drains gracefully and exits 0.  The CI
+smoke job uses ``--trace`` to collect a telemetry JSONL artifact and
+``--inject-fault`` to stage a chaos drill against a named test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.service.app import VerdictService, _serve_async
+from repro.service.config import ServiceConfig
+from repro.session import Session
+
+
+def _processes(value: str):
+    return value if value == "auto" else int(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve litmus verdicts and fence repairs over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port (printed at start)"
+    )
+    parser.add_argument("--model", default="power", help="default model name")
+    parser.add_argument(
+        "--processes",
+        type=_processes,
+        default="auto",
+        help='campaign worker count, or "auto" (one per core)',
+    )
+    parser.add_argument("--max-queue", type=int, default=None)
+    parser.add_argument("--max-batch", type=int, default=None)
+    parser.add_argument("--batch-window", type=float, default=None)
+    parser.add_argument("--default-deadline", type=float, default=None)
+    parser.add_argument("--drain-window", type=float, default=None)
+    parser.add_argument("--chunk-timeout", type=float, default=None)
+    parser.add_argument("--breaker-threshold", type=int, default=None)
+    parser.add_argument("--breaker-probe-interval", type=float, default=None)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and export it as JSONL to PATH on drain",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        metavar="KIND:TARGET",
+        default=None,
+        help=(
+            "chaos drill: install a worker-side fault "
+            "(crash|hang|raise|raise_unpicklable) against a test name"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+
+    config_overrides = {"host": options.host, "port": options.port}
+    for name in (
+        "max_queue",
+        "max_batch",
+        "batch_window",
+        "default_deadline",
+        "drain_window",
+        "breaker_threshold",
+        "breaker_probe_interval",
+    ):
+        value = getattr(options, name)
+        if value is not None:
+            config_overrides[name] = value
+    config = ServiceConfig(**config_overrides)
+
+    if options.inject_fault is not None:
+        from repro.campaign import faults
+
+        kind, separator, target = options.inject_fault.partition(":")
+        if not separator or not target:
+            print(
+                f"--inject-fault wants KIND:TARGET, got {options.inject_fault!r}",
+                file=sys.stderr,
+            )
+            return 2
+        faults.install(faults.FaultSpec(kind, target))
+        print(f"verdict-service chaos drill armed: {kind} on {target!r}", flush=True)
+
+    session_kwargs = {"model": options.model, "processes": options.processes}
+    if options.chunk_timeout is not None:
+        session_kwargs["chunk_timeout"] = options.chunk_timeout
+    if options.trace is not None:
+        session_kwargs["telemetry"] = True
+    session = Session(**session_kwargs)
+
+    service = VerdictService(session=session, config=config)
+    import asyncio
+
+    asyncio.run(_serve_async(service))
+
+    if options.trace is not None and session._telemetry is not None:
+        written = session._telemetry.export_jsonl(options.trace)
+        print(f"verdict-service trace: {written} records -> {options.trace}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,835 @@
+"""The resilient verdict service: one Session behind an asyncio front door.
+
+The service owns a single multi-worker :class:`~repro.session.Session`
+and keeps answering verdict/repair traffic through the failure modes a
+long-lived server actually meets:
+
+* **Overload** — admission is bounded: once ``max_queue`` items are
+  admitted and unanswered, new requests are shed with ``429`` and a
+  ``Retry-After`` hint instead of growing an unbounded backlog.
+* **Slow work** — every request carries a deadline (its own, or the
+  configured default).  The budget propagates down into the supervisor
+  as ``SupervisorPolicy.with_budget``: chunk attempts are capped at it,
+  no retry or bisection round starts past it, and an overdue chunk is
+  killed — a slow test can never pin a request beyond its budget.
+* **Concurrency** — concurrent requests for the same (kind, model,
+  strategy) are **micro-batched**: the dispatcher coalesces queued
+  items into campaign chunks on the warm pool and streams each item's
+  JSON result line back the moment its batch lands.
+* **Poison inputs and dying workers** — the supervised pool already
+  quarantines and self-heals; the service adds a **circuit breaker** on
+  top of the supervisor's own counters.  When deaths/timeouts/
+  quarantines spike, the breaker trips and batches run serially
+  in-process (degraded mode: slower, but with no workers to lose);
+  probe batches half-open it on a schedule and a clean probe closes it.
+* **Shutdown** — SIGTERM drains: stop admitting (new requests get
+  ``503``), let in-flight work finish inside ``drain_window`` seconds,
+  then abort the running batch, kill overdue chunks and close the pool.
+
+Execution happens on a **single** worker thread feeding the Session —
+the Session is not thread-safe, and parallelism comes from the process
+pool inside a batch, not from concurrent batches.  The asyncio loop
+only parses, queues, streams and supervises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.litmus.ast import LitmusTest
+from repro.service.breaker import HALF_OPEN, CircuitBreaker
+from repro.service.config import ServiceConfig
+from repro.service.http import ChunkedWriter, HttpError, Request, read_request, response_bytes
+from repro.session import Session
+
+__all__ = ["VerdictService", "ServiceThread", "serve"]
+
+#: Counter keys pre-seeded to zero so ``GET /stats`` always shows the
+#: full shape, quiet servers included.
+_COUNTER_NAMES = (
+    "requests",
+    "admitted",
+    "shed",
+    "rejected_draining",
+    "expired_in_queue",
+    "batches",
+    "batched_items",
+    "degraded_batches",
+    "probe_batches",
+    "responses",
+    "http_errors",
+    "drain_unanswered",
+)
+
+
+class _Item:
+    """One admitted unit of work: a single test plus its bookkeeping."""
+
+    __slots__ = ("kind", "test", "model", "strategy", "deadline", "future")
+
+    def __init__(self, kind, test, model, strategy, deadline, future):
+        self.kind = kind  # "verdict" | "repair"
+        self.test = test
+        self.model = model
+        self.strategy = strategy  # None for verdicts — batches group on it
+        self.deadline = deadline  # absolute time.monotonic()
+        self.future = future
+
+
+class VerdictService:
+    """The HTTP front door (see the module docstring for the design).
+
+    ``session`` adopts an existing :class:`~repro.session.Session`;
+    without one, a fault-tolerant session is built from
+    ``session_defaults`` (``model="power"``, ``processes="auto"`` and a
+    one-hour ``cache_ttl`` unless overridden).  Endpoints:
+
+    * ``POST /verdict`` — body ``{"tests": [...], "model": "power",
+      "deadline": 5.0}``; each entry is a registry name, ``{"name":
+      ...}``, or ``{"source": "<litmus text>"}``.  Responds 200 with an
+      NDJSON stream: one line per test, in request order, each
+      ``{"test", "status", ...}`` — ``ok`` (with ``verdict``),
+      ``quarantined``/``timeout``/``unavailable`` (with the structured
+      ``FailedItem``), or ``error``.
+    * ``POST /repair`` — same body plus optional ``strategy``
+      (``greedy``/``ilp``); ``ok`` lines carry the full repair
+      ``report``.
+    * ``GET /stats`` — ``{"service": ..., "session": Session.stats()}``.
+    * ``GET /healthz`` — liveness plus drain/breaker state.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        config: Optional[ServiceConfig] = None,
+        **session_defaults: Any,
+    ):
+        self.config = config or ServiceConfig()
+        if session is None:
+            session_defaults.setdefault("model", "power")
+            session_defaults.setdefault("processes", "auto")
+            session_defaults.setdefault("cache_ttl", 3600.0)
+            session = Session(**session_defaults)
+        elif session_defaults:
+            raise TypeError("pass either session= or session defaults, not both")
+        self.session = session
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            window=self.config.breaker_window,
+            probe_interval=self.config.breaker_probe_interval,
+        )
+        self.counters: Dict[str, float] = {name: 0 for name in _COUNTER_NAMES}
+        self.counters["drain_seconds"] = 0.0
+        self._queue: Deque[_Item] = deque()
+        self._inflight = 0
+        self._draining = False
+        self._closed = False
+        self._drain_started = False
+        self._stop_serial = False
+        self._wake: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="verdict-service"
+        )
+        self._signal_seen = self._supervisor_signal()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- counters and breaker signals ---------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        _telemetry.count(f"service.{name}", amount)
+
+    def _supervisor_signal(self) -> float:
+        """Lifetime supervisor incidents: the breaker's input signal."""
+        totals = dict(self.session._supervisor_history)
+        pool = self.session._pool
+        if pool is not None:
+            for name, value in pool.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return sum(
+            totals.get(name, 0)
+            for name in ("worker_deaths", "timeouts", "quarantined")
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the dispatcher; returns (host, port)."""
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+        _telemetry.set_gauge("service.up", 1)
+        return self.address
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight work
+        within the drain window, then abort stragglers and close the
+        pool.  Idempotent; resets the breaker so a later restart of the
+        owning process starts closed."""
+        if self._drain_started:
+            return
+        self._drain_started = True
+        started = time.monotonic()
+        # Stop admitting first, but keep the listener up through the
+        # drain window: late clients get an explicit 503 + Retry-After
+        # instead of a connection refusal, and in-flight streams keep
+        # their sockets.
+        self._draining = True
+
+        deadline = started + self.config.drain_window
+        while (self._queue or self._inflight) and time.monotonic() < deadline:
+            if self._wake is not None:
+                self._wake.set()
+            await asyncio.sleep(0.02)
+
+        overdue = bool(self._queue or self._inflight)
+        if overdue:
+            # The window is blown: abort the supervised batch (the
+            # executor thread unblocks with `aborted` failures) and stop
+            # the serial path between items.
+            self._stop_serial = True
+            pool = self.session._pool
+            if pool is not None:
+                pool.abort()
+            grace_until = time.monotonic() + 5.0
+            while (self._queue or self._inflight) and time.monotonic() < grace_until:
+                if self._wake is not None:
+                    self._wake.set()
+                await asyncio.sleep(0.02)
+            unanswered = list(self._queue)
+            self._queue.clear()
+            if unanswered:
+                self._count("drain_unanswered", len(unanswered))
+            for item in unanswered:
+                self._resolve(
+                    item,
+                    {
+                        "test": item.test.name,
+                        "status": "unavailable",
+                        "error": "service drained before this test ran",
+                    },
+                )
+
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._wake is not None:
+            self._wake.set()
+        if self._batcher is not None:
+            try:
+                await asyncio.wait_for(self._batcher, timeout=10.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._batcher.cancel()
+            self._batcher = None
+
+        # Close the pool off-loop (process joins block).  After an abort
+        # a small grace kills the overdue chunk's worker instead of
+        # waiting out the policy default.
+        grace = 0.5 if overdue else None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self.session.close(grace))
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.breaker.reset()
+        elapsed = time.monotonic() - started
+        self.counters["drain_seconds"] = elapsed
+        _telemetry.observe("service.drain_seconds", elapsed)
+        _telemetry.set_gauge("service.up", 0)
+
+    # -- admission ----------------------------------------------------------------
+
+    def _retry_after_headers(self) -> Dict[str, str]:
+        return {"Retry-After": str(max(1, round(self.config.retry_after)))}
+
+    def _admit(
+        self,
+        kind: str,
+        tests: List[LitmusTest],
+        model: str,
+        strategy: Optional[str],
+        budget: float,
+    ) -> List[_Item]:
+        if self._draining or self._closed:
+            self._count("rejected_draining", len(tests))
+            raise HttpError(
+                503, "service is draining", self._retry_after_headers()
+            )
+        depth = len(self._queue) + self._inflight
+        if depth + len(tests) > self.config.max_queue:
+            self._count("shed", len(tests))
+            raise HttpError(
+                429,
+                f"admission queue full ({depth} items in flight, "
+                f"cap {self.config.max_queue})",
+                self._retry_after_headers(),
+            )
+        loop = asyncio.get_running_loop()
+        deadline = time.monotonic() + budget
+        items = [
+            _Item(kind, test, model, strategy, deadline, loop.create_future())
+            for test in tests
+        ]
+        self._queue.extend(items)
+        self._count("admitted", len(items))
+        _telemetry.set_gauge("service.queue_depth", len(self._queue) + self._inflight)
+        if self._wake is not None:
+            self._wake.set()
+        return items
+
+    def _resolve(self, item: _Item, outcome: Dict[str, Any]) -> None:
+        if not item.future.done():
+            item.future.set_result(outcome)
+
+    # -- the dispatcher -----------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        while not self._closed:
+            if not self._queue:
+                self._wake.clear()
+                if self._closed:
+                    break
+                await self._wake.wait()
+                continue
+            if (
+                len(self._queue) < cfg.max_batch
+                and cfg.batch_window > 0
+                and not self._draining
+            ):
+                # Coalescing window: let concurrent arrivals join the batch.
+                await asyncio.sleep(cfg.batch_window)
+
+            now = time.monotonic()
+            overdue = [item for item in self._queue if item.deadline <= now]
+            for item in overdue:
+                self._queue.remove(item)
+                self._resolve(
+                    item,
+                    {
+                        "test": item.test.name,
+                        "status": "timeout",
+                        "error": "deadline expired while queued",
+                    },
+                )
+            if overdue:
+                self._count("expired_in_queue", len(overdue))
+            if not self._queue:
+                continue
+
+            # The tightest deadline picks the batch key; everything
+            # compatible rides along, earliest deadlines first.
+            head = min(self._queue, key=lambda item: item.deadline)
+            key = (head.kind, head.model, head.strategy)
+            group = [
+                item
+                for item in sorted(self._queue, key=lambda item: item.deadline)
+                if (item.kind, item.model, item.strategy) == key
+            ][: cfg.max_batch]
+            for item in group:
+                self._queue.remove(item)
+            self._inflight += len(group)
+            self._count("batches")
+            self._count("batched_items", len(group))
+
+            pooled = probe = False
+            if self.session.workers > 1 and not self._stop_serial:
+                pooled = self.breaker.allow_pooled()
+                probe = pooled and self.breaker.state == HALF_OPEN
+            if not pooled:
+                self._count("degraded_batches")
+            if probe:
+                self._count("probe_batches")
+
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._run_group, group, pooled
+                )
+            except Exception as exc:  # noqa: BLE001 — the loop must survive
+                outcomes = [
+                    {
+                        "test": item.test.name,
+                        "status": "error",
+                        "error": repr(exc),
+                    }
+                    for item in group
+                ]
+
+            signal = self._supervisor_signal()
+            incidents = int(signal - self._signal_seen)
+            self._signal_seen = signal
+            if probe:
+                self.breaker.record_probe(incidents == 0)
+            elif pooled:
+                self.breaker.record_incidents(incidents)
+
+            for item, outcome in zip(group, outcomes):
+                self._resolve(item, outcome)
+            self._inflight -= len(group)
+            _telemetry.set_gauge(
+                "service.queue_depth", len(self._queue) + self._inflight
+            )
+
+    # -- batch execution (single worker thread) -----------------------------------
+
+    def _run_group(self, group: List[_Item], pooled: bool) -> List[Dict[str, Any]]:
+        if pooled:
+            return self._run_pooled(group)
+        return self._run_serial(group)
+
+    def _run_pooled(self, group: List[_Item]) -> List[Dict[str, Any]]:
+        session = self.session
+        head = group[0]
+        tests = [item.test for item in group]
+        budget = min(item.deadline for item in group) - time.monotonic()
+        policy = session.policy.with_budget(budget)
+        errors: List[Any] = []
+
+        if head.kind == "repair":
+            from repro.fences.campaign import repair_family
+
+            result = repair_family(
+                tests,
+                head.model,
+                pool=session.pool(),
+                cache=session.cycle_cache,
+                context_cache=session.context_cache,
+                strategy=head.strategy or session.strategy,
+                policy=policy,
+                errors=errors,
+            )
+            survivors = list(result.reports)
+
+            def name_of(report) -> str:
+                return report.test_name
+
+            def render(report) -> Dict[str, Any]:
+                return {
+                    "test": report.test_name,
+                    "status": "ok",
+                    "mode": "pooled",
+                    "report": report.to_dict(),
+                }
+
+        else:
+            # run_sharded directly (not sweep_family): the family helper
+            # shortcuts single-test batches to serial in-process, which
+            # would bypass chunk supervision — the pool must own every
+            # pooled item so deadlines and quarantine always apply.
+            from repro.campaign import runner as campaign_runner
+            from repro.campaign.jobs import VerdictJob, verdict_chunk
+
+            survivors = list(
+                campaign_runner.run_sharded(
+                    verdict_chunk,
+                    [
+                        VerdictJob(test, head.model, session.engine)
+                        for test in tests
+                    ],
+                    pool=session.pool(),
+                    policy=policy,
+                    errors=errors,
+                )
+            )
+
+            def name_of(pair) -> str:
+                return pair[0]
+
+            def render(pair) -> Dict[str, Any]:
+                return {
+                    "test": pair[0],
+                    "status": "ok",
+                    "mode": "pooled",
+                    "verdict": pair[1],
+                }
+
+        session.last_errors.extend(errors)
+        return self._align(group, survivors, name_of, render, errors)
+
+    @staticmethod
+    def _align(
+        group: List[_Item],
+        survivors: List[Any],
+        name_of: Callable[[Any], str],
+        render: Callable[[Any], Dict[str, Any]],
+        errors: List[Any],
+    ) -> List[Dict[str, Any]]:
+        """Zip survivors (submission order) and quarantines back onto
+        the group, one outcome per item."""
+        remaining = list(errors)
+        outcomes: List[Dict[str, Any]] = []
+        index = 0
+        for item in group:
+            name = item.test.name
+            if index < len(survivors) and name_of(survivors[index]) == name:
+                outcomes.append(render(survivors[index]))
+                index += 1
+                continue
+            failed = next((f for f in remaining if f.item == name), None)
+            if failed is not None:
+                remaining.remove(failed)
+                status = {"timeout": "timeout", "aborted": "unavailable"}.get(
+                    failed.kind, "quarantined"
+                )
+                outcomes.append(
+                    {"test": name, "status": status, "error": failed.to_dict()}
+                )
+            else:  # pragma: no cover — the campaign always accounts for items
+                outcomes.append(
+                    {
+                        "test": name,
+                        "status": "error",
+                        "error": "no result or quarantine record for this test",
+                    }
+                )
+        return outcomes
+
+    def _run_serial(self, group: List[_Item]) -> List[Dict[str, Any]]:
+        """Degraded mode: in-process, one item at a time, no workers to
+        lose.  Deadlines are enforced between items — a running item
+        cannot be interrupted in-process."""
+        outcomes: List[Dict[str, Any]] = []
+        for item in group:
+            name = item.test.name
+            if self._stop_serial:
+                outcomes.append(
+                    {
+                        "test": name,
+                        "status": "unavailable",
+                        "error": "service is shutting down",
+                    }
+                )
+                continue
+            if time.monotonic() >= item.deadline:
+                outcomes.append(
+                    {
+                        "test": name,
+                        "status": "timeout",
+                        "error": "deadline expired before execution",
+                    }
+                )
+                continue
+            try:
+                if item.kind == "repair":
+                    report = self.session.repair(
+                        item.test, model=item.model, strategy=item.strategy
+                    )
+                    outcomes.append(
+                        {
+                            "test": name,
+                            "status": "ok",
+                            "mode": "serial",
+                            "report": report.to_dict(),
+                        }
+                    )
+                else:
+                    verdict = self.session.verdict(item.test, model=item.model)
+                    outcomes.append(
+                        {
+                            "test": name,
+                            "status": "ok",
+                            "mode": "serial",
+                            "verdict": verdict,
+                        }
+                    )
+            except Exception as exc:  # noqa: BLE001 — degraded mode must answer
+                outcomes.append(
+                    {"test": name, "status": "error", "error": repr(exc)}
+                )
+        return outcomes
+
+    # -- HTTP ---------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        streaming = ChunkedWriter(writer)
+        try:
+            request = await read_request(
+                reader, self.config.max_body_bytes, self.config.read_timeout
+            )
+            if request is not None:
+                await self._route(request, writer, streaming)
+        except HttpError as error:
+            self._count("http_errors")
+            if not streaming.started:
+                with contextlib.suppress(Exception):
+                    writer.write(
+                        response_bytes(
+                            error.status,
+                            {"error": error.detail},
+                            extra_headers=error.headers,
+                        )
+                    )
+                    await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # the client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 — one connection, not the server
+            self._count("http_errors")
+            if not streaming.started:
+                with contextlib.suppress(Exception):
+                    writer.write(response_bytes(500, {"error": repr(exc)}))
+                    await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, request: Request, writer, streaming: ChunkedWriter) -> None:
+        path, method = request.path, request.method
+        if path == "/stats":
+            if method != "GET":
+                raise HttpError(405, "use GET /stats")
+            writer.write(response_bytes(200, self.stats()))
+            await writer.drain()
+            return
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "use GET /healthz")
+            writer.write(
+                response_bytes(
+                    200,
+                    {
+                        "status": "draining" if self._draining else "ok",
+                        "workers": self.session.workers,
+                        "breaker": self.breaker.state,
+                    },
+                )
+            )
+            await writer.drain()
+            return
+        if path in ("/verdict", "/repair"):
+            if method != "POST":
+                raise HttpError(405, f"use POST {path}")
+            self._count("requests")
+            kind = path[1:]
+            tests, model, strategy, budget = self._parse_submission(request, kind)
+            items = self._admit(kind, tests, model, strategy, budget)
+            await streaming.start(200)
+            for item in items:
+                remaining = item.deadline - time.monotonic()
+                try:
+                    # shield(): wait_for must not cancel the shared
+                    # future on timeout — the batch may still resolve it
+                    # for the record.  The extra second covers batcher
+                    # scheduling of an expiry that lands exactly on the
+                    # deadline.
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(item.future),
+                        timeout=max(remaining, 0.0) + 1.0,
+                    )
+                except asyncio.TimeoutError:
+                    outcome = {
+                        "test": item.test.name,
+                        "status": "timeout",
+                        "error": "deadline expired before a result was produced",
+                    }
+                await streaming.write_line(outcome)
+                self._count("responses")
+            await streaming.finish()
+            return
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    def _parse_submission(
+        self, request: Request, kind: str
+    ) -> Tuple[List[LitmusTest], str, Optional[str], float]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        specs = payload.get("tests", payload.get("test"))
+        if isinstance(specs, (str, dict)):
+            specs = [specs]
+        if not isinstance(specs, list) or not specs:
+            raise HttpError(400, 'provide a non-empty "tests" list')
+
+        model = payload.get("model")
+        if model is None:
+            model = (
+                self.session.model
+                if isinstance(self.session.model, str)
+                else "power"
+            )
+        if not isinstance(model, str):
+            raise HttpError(400, '"model" must be a model name string')
+        try:
+            self.session.resolve(model)
+        except Exception as exc:
+            raise HttpError(400, f"unknown model {model!r}: {exc}") from None
+
+        strategy = payload.get("strategy") if kind == "repair" else None
+        if strategy is not None and strategy not in ("greedy", "ilp"):
+            raise HttpError(400, f'"strategy" must be "greedy" or "ilp", got {strategy!r}')
+
+        budget = payload.get("deadline", self.config.default_deadline)
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+            raise HttpError(400, '"deadline" must be a number of seconds')
+        if not budget > 0:  # also rejects NaN
+            raise HttpError(400, f'"deadline" must be positive, got {budget}')
+        budget = min(float(budget), self.config.max_deadline)
+
+        tests = [self._resolve_test(spec) for spec in specs]
+        return tests, model.lower(), strategy, budget
+
+    @staticmethod
+    def _resolve_test(spec: Any) -> LitmusTest:
+        from repro.litmus import registry as litmus_registry
+
+        if isinstance(spec, dict) and "source" in spec:
+            from repro.litmus.parser import parse_litmus
+
+            try:
+                return parse_litmus(spec["source"])
+            except Exception as exc:
+                raise HttpError(400, f"unparseable litmus source: {exc}") from None
+        name = spec.get("name") if isinstance(spec, dict) else spec
+        if not isinstance(name, str):
+            raise HttpError(
+                400,
+                f"each test must be a registry name, {{'name': ...}} or "
+                f"{{'source': ...}}; got {spec!r}",
+            )
+        try:
+            return litmus_registry.get_test(name)
+        except Exception:
+            raise HttpError(400, f"unknown litmus test {name!r}") from None
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` payload: service plus session trees."""
+        return {
+            "service": {
+                "counters": dict(self.counters),
+                "queue_depth": len(self._queue),
+                "inflight": self._inflight,
+                "draining": self._draining,
+                "breaker": self.breaker.as_dict(),
+                "config": self.config.as_dict(),
+            },
+            "session": self.session.stats(),
+        }
+
+
+async def _serve_async(
+    service: VerdictService, *, install_signal_handlers: bool = True
+) -> None:
+    """Run *service* until SIGTERM/SIGINT, then drain."""
+    import signal
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+    host, port = await service.start()
+    print(f"verdict-service listening on http://{host}:{port}", flush=True)
+    await stop.wait()
+    print("verdict-service draining", flush=True)
+    await service.drain()
+    print(
+        f"verdict-service drained in "
+        f"{service.counters['drain_seconds']:.2f}s",
+        flush=True,
+    )
+
+
+def serve(
+    config: Optional[ServiceConfig] = None,
+    session: Optional[Session] = None,
+    **session_defaults: Any,
+) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, drain, return 0."""
+    service = VerdictService(session=session, config=config, **session_defaults)
+    asyncio.run(_serve_async(service))
+    return 0
+
+
+class ServiceThread:
+    """A service on a background event loop — tests, benchmarks, examples.
+
+    ::
+
+        with ServiceThread(processes=2, config=ServiceConfig(port=0)) as handle:
+            client = ServiceClient(*handle.address)
+            ...
+
+    ``request_drain()`` triggers the same drain path SIGTERM does;
+    leaving the ``with`` block requests it and joins the thread.
+    """
+
+    def __init__(
+        self,
+        service: Optional[VerdictService] = None,
+        config: Optional[ServiceConfig] = None,
+        **session_defaults: Any,
+    ):
+        if service is None:
+            service = VerdictService(config=config, **session_defaults)
+        elif config is not None or session_defaults:
+            raise TypeError("pass either service= or config/session defaults")
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.service.address is not None, "service not started"
+        return self.service.address
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="verdict-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.service.address is None:
+            raise RuntimeError("verdict service failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.drain()
+
+    def request_drain(self) -> None:
+        """Trigger the drain from any thread (the SIGTERM path)."""
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+
+    def join(self, timeout: Optional[float] = 60.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.request_drain()
+        self.join()

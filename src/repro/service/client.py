@@ -1,0 +1,182 @@
+"""A small blocking client for the verdict service.
+
+Built on :class:`http.client.HTTPConnection` (stdlib), which decodes
+chunked transfer encoding transparently — ``readline`` on the response
+yields NDJSON result lines as the server streams them.  The client is
+deliberately thin: it exposes shed/drain responses (429/503 with their
+``Retry-After``) instead of hiding them behind retries, because load
+generators and tests need to *observe* backpressure, and real callers
+should decide their own retry policy.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["ServiceClient", "ServiceResponse"]
+
+TestSpec = Union[str, Dict[str, Any]]
+
+
+class ServiceResponse:
+    """One answered request: status, headers and (for 200) result lines."""
+
+    def __init__(self, status: int, headers: Dict[str, str], results: List[Dict[str, Any]]):
+        self.status = status
+        self.headers = headers
+        self.results = results
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The server's ``Retry-After`` hint (429/503), if any."""
+        value = self.headers.get("retry-after")
+        try:
+            return float(value) if value is not None else None
+        except ValueError:  # pragma: no cover — the server sends numbers
+            return None
+
+    @property
+    def error(self) -> Optional[str]:
+        """The error detail of a non-200 response."""
+        if self.ok or not self.results:
+            return None
+        return self.results[0].get("error")
+
+    def __repr__(self) -> str:
+        return f"ServiceResponse(status={self.status}, results={len(self.results)})"
+
+
+class ServiceClient:
+    """Blocking HTTP client for one verdict-service endpoint.
+
+    ::
+
+        client = ServiceClient("127.0.0.1", 8787)
+        response = client.verdict(["sb", "mp"], model="power", deadline=5.0)
+        for line in response.results:
+            print(line["test"], line["status"])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- one-shot verbs -----------------------------------------------------------
+
+    def verdict(
+        self,
+        tests: Union[TestSpec, Sequence[TestSpec]],
+        model: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> ServiceResponse:
+        """``POST /verdict``; returns the full response, lines collected."""
+        return self._submit("/verdict", tests, model=model, deadline=deadline)
+
+    def repair(
+        self,
+        tests: Union[TestSpec, Sequence[TestSpec]],
+        model: Optional[str] = None,
+        deadline: Optional[float] = None,
+        strategy: Optional[str] = None,
+    ) -> ServiceResponse:
+        """``POST /repair``; returns the full response, lines collected."""
+        return self._submit(
+            "/repair", tests, model=model, deadline=deadline, strategy=strategy
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats`` as a dict (raises on non-200)."""
+        response = self._request("GET", "/stats")
+        if response.status != 200:
+            raise RuntimeError(f"GET /stats failed: {response!r}")
+        return response.results[0]
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` as a dict (raises on non-200)."""
+        response = self._request("GET", "/healthz")
+        if response.status != 200:
+            raise RuntimeError(f"GET /healthz failed: {response!r}")
+        return response.results[0]
+
+    # -- streaming ----------------------------------------------------------------
+
+    def stream(
+        self,
+        path: str,
+        tests: Union[TestSpec, Sequence[TestSpec]],
+        model: Optional[str] = None,
+        deadline: Optional[float] = None,
+        strategy: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield result lines of a 200 response as the server streams
+        them; raises ``RuntimeError`` on a non-200 answer."""
+        body = self._body(tests, model, deadline, strategy)
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST", path, body=body, headers={"Content-Type": "application/json"}
+            )
+            raw = connection.getresponse()
+            if raw.status != 200:
+                detail = raw.read().decode("utf-8", "replace").strip()
+                raise RuntimeError(f"{path} failed with {raw.status}: {detail}")
+            while True:
+                line = raw.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    # -- plumbing -----------------------------------------------------------------
+
+    @staticmethod
+    def _body(tests, model, deadline, strategy=None) -> bytes:
+        if isinstance(tests, (str, dict)):
+            tests = [tests]
+        payload: Dict[str, Any] = {"tests": list(tests)}
+        if model is not None:
+            payload["model"] = model
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if strategy is not None:
+            payload["strategy"] = strategy
+        return json.dumps(payload).encode("utf-8")
+
+    def _submit(self, path, tests, model=None, deadline=None, strategy=None) -> ServiceResponse:
+        return self._request(
+            "POST", path, body=self._body(tests, model, deadline, strategy)
+        )
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None) -> ServiceResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            raw = connection.getresponse()
+            header_map = {name.lower(): value for name, value in raw.getheaders()}
+            results: List[Dict[str, Any]] = []
+            for line in raw.read().decode("utf-8", "replace").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    results.append(json.loads(line))
+                except ValueError:
+                    results.append({"error": line})
+            return ServiceResponse(raw.status, header_map, results)
+        finally:
+            connection.close()

@@ -58,11 +58,13 @@ from repro import telemetry as _telemetry
 from repro.campaign import (
     CampaignPool,
     ContextCache,
+    ErrorRing,
     FailedItem,
     SupervisorPolicy,
     worker_count,
 )
 from repro.campaign import supervisor as _supervisor
+from repro.util.caches import BoundedTTLCache
 from repro.telemetry import CacheStats, Metrics
 from repro.herd.simulator import (
     ModelLike,
@@ -102,6 +104,14 @@ class Session:
     unbounded).  Sessions are context managers — leaving the ``with``
     block shuts the pool down.
 
+    Long-lived sessions (the verdict service) additionally bound their
+    shared state: ``cache_ttl`` (seconds, ``None`` for no expiry) puts
+    an *idle* time-to-live on the resolved-model, context and repair
+    cycle-signature caches, ``cycle_cache_size`` LRU-bounds the cycle
+    memo, and ``error_ring`` bounds :attr:`last_errors` to the newest N
+    :class:`~repro.campaign.FailedItem` records — drops are counted in
+    ``stats()["supervisor"]["errors_dropped"]``.
+
     Multi-worker sessions are **fault-tolerant by default**: batch
     verbs run on the supervised campaign layer
     (:mod:`repro.campaign.supervisor`), so a worker crash, a chunk
@@ -131,27 +141,39 @@ class Session:
         on_error: str = "quarantine",
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        cache_ttl: Optional[float] = None,
+        cycle_cache_size: Optional[int] = 4096,
+        error_ring: int = 256,
     ):
         self.model = model
         self.engine = engine
         self.strategy = strategy
         self.processes = processes
+        self.cache_ttl = cache_ttl
         self.policy = SupervisorPolicy(
             chunk_timeout=chunk_timeout,
             max_retries=max_retries,
             backoff=retry_backoff,
             on_error=on_error,
         )
-        #: the FailedItem records of the most recent batch verb call.
-        self.last_errors: List[FailedItem] = []
+        #: the FailedItem records of the most recent batch verb call,
+        #: bounded to the newest ``error_ring`` records (lifetime drops
+        #: show up as ``stats()["supervisor"]["errors_dropped"]``).
+        self.last_errors: ErrorRing = ErrorRing(error_ring)
         self._supervisor_history = _supervisor.new_counters()
-        self.context_cache = ContextCache(capacity=cache_size)
-        #: (model name, strategy, cycle signature) -> mechanism seed,
-        #: shared by every repair of the session (see repro.fences.campaign).
-        self.cycle_cache: Dict = {}
-        self._models: Dict[str, Any] = {}
+        self.context_cache = ContextCache(capacity=cache_size, ttl=cache_ttl)
         self._model_stats = CacheStats("model", entries=lambda: len(self._models))
         self._cycle_stats = CacheStats("cycle", entries=lambda: len(self.cycle_cache))
+        #: (model name, strategy, cycle signature) -> mechanism seed,
+        #: shared by every repair of the session (see repro.fences.campaign).
+        #: Bounded: a long-lived session serving repair traffic would
+        #: otherwise accumulate one seed per cycle shape forever.
+        self.cycle_cache: Dict = BoundedTTLCache(
+            max_entries=cycle_cache_size, ttl=cache_ttl, stats=self._cycle_stats
+        )
+        self._models: Dict[str, Any] = BoundedTTLCache(
+            max_entries=128, ttl=cache_ttl, stats=self._model_stats
+        )
         self._simulators: Dict = {}
         self._checkers: Dict = {}
         self._pool: Optional[CampaignPool] = None
@@ -167,16 +189,21 @@ class Session:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
+    def close(self, grace: Optional[float] = None) -> None:
         """Shut the campaign pool down (the caches survive; a later
         batch verb restarts the pool lazily) and uninstall this
         session's telemetry registry if it is the active one.  The
         pool's supervision counters are folded into the session history
-        first, so ``stats()["supervisor"]`` survives pool restarts."""
+        first, so ``stats()["supervisor"]`` survives pool restarts.
+        ``grace`` overrides the policy's shutdown grace period — a
+        draining service passes a small one so an overdue chunk is
+        killed instead of waited out.  Idempotent."""
         if self._pool is not None:
             for name, value in self._pool.counters.items():
-                self._supervisor_history[name] += value
-            self._pool.close()
+                self._supervisor_history[name] = (
+                    self._supervisor_history.get(name, 0) + value
+                )
+            self._pool.close(grace)
             self._pool = None
         self.disable_telemetry()
 
@@ -307,9 +334,9 @@ class Session:
             return spec, self.pool()
         return self.resolve(spec), None
 
-    def _fresh_errors(self) -> List[FailedItem]:
+    def _fresh_errors(self) -> ErrorRing:
         """Reset and return :attr:`last_errors` for the next batch verb."""
-        self.last_errors = []
+        self.last_errors.clear()
         return self.last_errors
 
     def stats(self) -> Dict[str, Any]:
@@ -375,6 +402,7 @@ class Session:
                 "policy": self.policy.as_dict(),
                 "counters": supervisor_counters,
                 "last_errors": len(self.last_errors),
+                "errors_dropped": self.last_errors.dropped,
             },
             "telemetry": telemetry_tree,
         }

@@ -53,6 +53,7 @@ SUBPACKAGE_API = {
         "DEFAULT_CHUNK_SIZE",
         "FailedItem",
         "PoisonItemError",
+        "ErrorRing",
         "SimulationContext",
         "SupervisorPolicy",
         "chunked",
@@ -159,6 +160,19 @@ SUBPACKAGE_API = {
         "set_gauge",
         "span",
         "timer",
+    ],
+    "repro.service": [
+        "CLOSED",
+        "CircuitBreaker",
+        "HALF_OPEN",
+        "HttpError",
+        "OPEN",
+        "ServiceClient",
+        "ServiceConfig",
+        "ServiceResponse",
+        "ServiceThread",
+        "VerdictService",
+        "serve",
     ],
     "repro.session": [
         "Session",

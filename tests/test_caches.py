@@ -1,0 +1,122 @@
+"""Bounded, idle-expiring caches for long-lived sessions.
+
+A session behind the verdict service lives for days: every shared memo
+(resolved models, repair cycle signatures, simulation contexts) must be
+bounded in both entry count and idle time, or the process grows without
+limit.  These tests drive :class:`~repro.util.caches.BoundedTTLCache`
+with a fake clock and pin the session-level wiring: TTL reaches every
+shared cache and evictions land in ``Session.stats()``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign.context import ContextCache
+from repro.litmus.registry import get_test
+from repro.session import Session
+from repro.telemetry import CacheStats
+from repro.util.caches import BoundedTTLCache
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_lru_bound_evicts_oldest_and_counts():
+    stats = CacheStats("test")
+    cache = BoundedTTLCache(max_entries=2, stats=stats)
+    cache["a"], cache["b"] = 1, 2
+    assert cache["a"] == 1  # touch: "a" is now most recently used
+    cache["c"] = 3
+    assert "b" not in cache
+    assert dict(cache) == {"a": 1, "c": 3}
+    assert stats.evictions == 1
+
+
+def test_idle_ttl_expires_untouched_entries_only():
+    clock = Clock()
+    stats = CacheStats("test")
+    cache = BoundedTTLCache(ttl=10.0, stats=stats, clock=clock)
+    cache["young"] = 1
+    cache["old"] = 2
+    clock.now = 8.0
+    assert cache["young"] == 1  # the read refreshes the idle stamp
+    clock.now = 12.0
+    assert "old" not in cache  # idle 12s > ttl
+    assert cache["young"] == 1  # idle only 4s since the refresh
+    with pytest.raises(KeyError):
+        cache["old"]
+    assert stats.evictions == 1
+    assert len(cache) == 1
+
+
+def test_purge_sweeps_everything_expired_at_once():
+    clock = Clock()
+    cache = BoundedTTLCache(ttl=5.0, clock=clock)
+    for key in ("a", "b", "c"):
+        cache[key] = key
+    clock.now = 6.0
+    cache["fresh"] = 1
+    assert cache.purge() == 3
+    assert list(cache) == ["fresh"]
+    assert cache.purge() == 0
+
+
+def test_mutable_mapping_protocol_supports_campaign_drivers():
+    cache = BoundedTTLCache(max_entries=8)
+    cache.update({"a": 1, "b": 2})  # merge, as repair_family does
+    snapshot = dict(cache)  # snapshot, as the sharded payload does
+    assert snapshot == {"a": 1, "b": 2}
+    del cache["a"]
+    assert cache.get("a") is None
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_validates_its_bounds():
+    with pytest.raises(ValueError):
+        BoundedTTLCache(max_entries=0)
+    with pytest.raises(ValueError):
+        BoundedTTLCache(ttl=0)
+    assert BoundedTTLCache(max_entries=None, ttl=None) is not None
+
+
+def test_context_cache_idle_ttl_rebuilds_expired_contexts():
+    cache = ContextCache(capacity=8, ttl=0.02)
+    test = get_test("sb")
+    first = cache.get(test)
+    assert cache.get(test) is first
+    assert cache.hits == 1
+    time.sleep(0.05)
+    rebuilt = cache.get(test)
+    assert rebuilt is not first, "an idle-expired context must be rebuilt"
+    assert cache.evictions == 1
+    assert cache.misses == 2
+    with pytest.raises(ValueError):
+        ContextCache(ttl=-1.0)
+
+
+def test_session_ttl_reaches_every_shared_cache():
+    session = Session(model="power", cache_ttl=123.0, cycle_cache_size=7)
+    assert session.context_cache.ttl == 123.0
+    assert session.cycle_cache.ttl == 123.0
+    assert session.cycle_cache.max_entries == 7
+    assert session._models.ttl == 123.0
+
+
+def test_session_error_ring_is_bounded_and_drops_are_reported():
+    session = Session(model="power", error_ring=2)
+    session.last_errors.extend(["one", "two", "three"])
+    assert list(session.last_errors) == ["two", "three"]
+    assert session.stats()["supervisor"]["errors_dropped"] == 1
+    session.last_errors.clear()
+    # Lifetime counter: visible even after the next batch reset.
+    assert session.stats()["supervisor"]["errors_dropped"] == 1

@@ -1,0 +1,115 @@
+"""The benchmark comparison gate (``benchmarks/compare.py``).
+
+The gate runs in CI against committed baselines that outlive schema
+changes — record shapes drift as benchmarks evolve.  These tests pin
+the tolerance rules: drifted or corrupted records are skipped with a
+warning, never reported as infinite-ratio regressions, and one-sided
+``extra_info`` metrics stay visible in the evidence table.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", Path(__file__).parent.parent / "benchmarks" / "compare.py"
+)
+compare_mod = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_mod)
+
+
+def bench_file(tmp_path, name, benchmarks):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
+    return str(path)
+
+
+def record(name, mean, extra_info=None, **stats_overrides):
+    stats = {"mean": mean, **stats_overrides}
+    return {"name": name, "stats": stats, "extra_info": extra_info or {}}
+
+
+def test_load_benchmarks_skips_unusable_means(tmp_path, capsys):
+    path = bench_file(
+        tmp_path,
+        "drifted.json",
+        [
+            record("good", 0.5),
+            record("zero", 0.0),
+            record("negative", -1.0),
+            record("nan", float("nan")),
+            {"name": "no-stats"},
+            {"name": "bool-mean", "stats": {"mean": True}},
+            {"stats": {"mean": 0.1}},  # nameless
+        ],
+    )
+    records = compare_mod.load_benchmarks(path)
+    assert list(records) == ["good"]
+    warnings = capsys.readouterr().err
+    assert "zero" in warnings and "negative" in warnings and "nan" in warnings
+
+
+def test_compare_never_emits_infinite_ratio_regressions():
+    rows, regressions = compare_mod.compare(
+        {"a": 0.0, "b": 1.0}, {"a": 1.0, "b": 1.05}, threshold=0.2
+    )
+    assert regressions == []
+    by_name = {row[0]: row for row in rows}
+    assert by_name["a"][4] == "skipped"
+    assert by_name["a"][3] is None
+    assert by_name["b"][4] == "ok"
+
+
+def test_compare_flags_real_regressions_and_one_sided_benchmarks():
+    rows, regressions = compare_mod.compare(
+        {"slow": 1.0, "gone": 1.0}, {"slow": 2.0, "fresh": 1.0}, threshold=0.2
+    )
+    assert [name for name, *_ in regressions] == ["slow"]
+    statuses = {row[0]: row[4] for row in rows}
+    assert statuses == {"slow": "REGRESSION", "gone": "removed", "fresh": "new"}
+
+
+def test_metric_deltas_cover_the_union_of_extra_info_keys():
+    base = record("bench", 1.0, extra_info={"shared": 10, "renamed_away": 5, "text": "x"})
+    cur = record("bench", 1.0, extra_info={"shared": 12, "renamed_to": 7})
+    rows = compare_mod.metric_deltas(base, cur)
+    by_key = {key: (b, c, d) for key, b, c, d in rows}
+    assert set(by_key) == {"shared", "renamed_away", "renamed_to"}
+    assert by_key["shared"] == (10.0, 12.0, pytest.approx(0.2))
+    assert by_key["renamed_away"] == (5.0, None, None)
+    assert by_key["renamed_to"] == (None, 7.0, None)
+
+
+def test_main_exits_zero_on_drifted_baseline(tmp_path, capsys):
+    baseline = bench_file(
+        tmp_path, "base.json", [record("a", 0.0), record("b", 1.0)]
+    )
+    current = bench_file(
+        tmp_path,
+        "cur.json",
+        [record("b", 1.05, extra_info={"new_metric": 3}), record("c", 0.2)],
+    )
+    assert compare_mod.main([baseline, current, "--threshold", "0.2"]) == 0
+
+
+def test_main_still_fails_on_a_genuine_regression(tmp_path, capsys):
+    baseline = bench_file(
+        tmp_path, "base.json", [record("a", 1.0, extra_info={"hits": 100, "old": 1})]
+    )
+    current = bench_file(
+        tmp_path, "cur.json", [record("a", 2.0, extra_info={"hits": 40, "new": 2})]
+    )
+    assert compare_mod.main([baseline, current, "--threshold", "0.2"]) == 1
+    err = capsys.readouterr().err
+    # The evidence table lists shared and one-sided metrics alike.
+    assert "hits" in err and "old" in err and "new" in err
+
+
+def test_main_skips_cleanly_without_a_baseline(tmp_path):
+    current = bench_file(tmp_path, "cur.json", [record("a", 1.0)])
+    assert compare_mod.main([str(tmp_path / "missing.json"), current]) == 0

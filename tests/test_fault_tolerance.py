@@ -286,6 +286,24 @@ def test_pool_self_heals_across_batches():
         assert stats["quarantined"] == 1
 
 
+def test_worker_killed_while_idle_is_replaced_and_counted():
+    # A worker that dies *between* batches leaves no in-flight task to
+    # fail: the supervise loop must still notice the corpse, count the
+    # death (it feeds the service circuit breaker) and respawn, or the
+    # pool silently loses capacity forever.
+    with CampaignPool(2, policy=SupervisorPolicy(**FAST)) as pool:
+        assert pool.run(echo_chunk, JOBS, chunk_size=4) == SERIAL
+        supervised = pool._supervised
+        victim = supervised._members[0]
+        victim.process.terminate()
+        victim.process.join(5.0)
+        assert pool.run(echo_chunk, JOBS, chunk_size=4) == SERIAL
+        stats = pool.stats()
+        assert stats["worker_deaths"] == 1
+        assert stats["respawns"] == 1
+        assert supervised.alive == 2
+
+
 def test_close_leaves_no_worker_processes_behind():
     pool = CampaignPool(2, policy=SupervisorPolicy(**FAST))
     assert pool.run(echo_chunk, JOBS, chunk_size=4) == SERIAL
@@ -417,3 +435,145 @@ def test_driver_level_errors_ride_the_report_types(family, serial_sweep):
     tree = swept.to_dict()
     assert tree["errors"][0]["item"] == family[0].name
     assert "quarantined" in swept.describe()
+
+
+# -- deadline budgets, aborts and bounded error rings (service substrate) --------
+
+
+def test_with_budget_bounds_chunk_timeout_and_sets_a_deadline():
+    import time
+
+    policy = SupervisorPolicy(chunk_timeout=10.0, **FAST)
+    assert policy.deadline is None and not policy.expired()
+    bounded = policy.with_budget(0.5)
+    assert bounded.chunk_timeout == 0.5
+    assert bounded.deadline is not None
+    assert not bounded.expired(now=bounded.deadline - 0.1)
+    assert bounded.expired(now=bounded.deadline)
+    assert bounded.as_dict()["deadline"] == bounded.deadline
+    # An already tighter chunk_timeout survives a looser budget.
+    tight = SupervisorPolicy(chunk_timeout=0.1, **FAST).with_budget(5.0)
+    assert tight.chunk_timeout == 0.1
+    # A policy without chunk_timeout adopts the budget as one.
+    adopted = SupervisorPolicy(**FAST).with_budget(2.0)
+    assert adopted.chunk_timeout == 2.0
+    # The floor keeps a non-positive budget from crashing validation.
+    floored = SupervisorPolicy(**FAST).with_budget(-3.0)
+    assert floored.chunk_timeout == 0.005
+    assert time.monotonic() + 1.0 > floored.deadline
+
+
+def test_exhausted_budget_fails_serial_batch_before_dispatch():
+    import time
+
+    errors: list = []
+    policy = SupervisorPolicy(on_error="quarantine", **FAST).with_budget(0.005)
+    time.sleep(0.02)
+    results = run_sharded(
+        echo_chunk, JOBS, processes=1, chunk_size=4, policy=policy, errors=errors
+    )
+    assert results == []
+    assert len(errors) == len(JOBS)
+    assert {failure.kind for failure in errors} == {"timeout"}
+    assert all("deadline exhausted" in failure.error for failure in errors)
+
+
+def test_exhausted_budget_fails_pooled_batch_before_dispatch():
+    import time
+
+    errors: list = []
+    policy = SupervisorPolicy(on_error="quarantine", **FAST).with_budget(0.005)
+    time.sleep(0.02)
+    with CampaignPool(2) as pool:
+        results = run_sharded(
+            echo_chunk, JOBS, chunk_size=4, pool=pool, policy=policy, errors=errors
+        )
+        assert results == []
+        assert len(errors) == len(JOBS)
+        assert {failure.kind for failure in errors} == {"timeout"}
+        assert pool.counters["deadline_exhausted"] == len(JOBS)
+
+
+def test_abort_fails_a_hung_batch_and_returns():
+    import threading
+    import time
+
+    spec = FaultSpec("hang", repr(5), only_in_worker=False, hang_seconds=60.0)
+    policy = SupervisorPolicy(on_error="quarantine", chunk_timeout=30.0, **FAST)
+    outcome: dict = {}
+    errors: list = []
+    with CampaignPool(2) as pool:
+
+        def run():
+            outcome["results"] = run_sharded(
+                echo_chunk,
+                JOBS,
+                payload=spec,
+                chunk_size=4,
+                pool=pool,
+                policy=policy,
+                errors=errors,
+            )
+
+        thread = threading.Thread(target=run)
+        started = time.monotonic()
+        thread.start()
+        time.sleep(0.5)  # let the hung chunk get dispatched
+        pool.abort()
+        thread.join(timeout=15.0)
+        assert not thread.is_alive(), "abort must unblock the batch"
+        assert time.monotonic() - started < 15.0
+        aborted = [failure for failure in errors if failure.kind == "aborted"]
+        assert aborted, "the hung chunk's items must be failed as aborted"
+        assert repr(5) in {failure.item for failure in aborted}
+        assert pool.counters["aborted"] >= len(aborted)
+        # Every item is accounted for: a doubled result or a failure.
+        answered = len(outcome["results"]) + len(errors)
+        assert answered == len(JOBS)
+
+
+def test_pool_close_is_idempotent_with_a_dead_worker():
+    pool = CampaignPool(2)
+    policy = SupervisorPolicy(on_error="quarantine", **FAST)
+    assert run_sharded(echo_chunk, JOBS, chunk_size=4, pool=pool, policy=policy) == SERIAL
+    supervised = pool._supervised
+    assert supervised is not None
+    supervised._members[0].process.terminate()
+    supervised._members[0].process.join(5.0)
+    pool.close(grace=0.5)
+    pool.close(grace=0.5)  # double close: a no-op, not an error
+    assert pool._supervised is None and pool._pool is None
+
+
+def test_pool_concurrent_close_tears_down_exactly_once():
+    import threading
+
+    pool = CampaignPool(2)
+    policy = SupervisorPolicy(on_error="quarantine", **FAST)
+    run_sharded(echo_chunk, JOBS, chunk_size=4, pool=pool, policy=policy)
+    threads = [
+        threading.Thread(target=lambda: pool.close(grace=0.5)) for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert pool._supervised is None and pool._pool is None
+
+
+def test_error_ring_bounds_records_and_counts_drops():
+    from repro.campaign import ErrorRing
+
+    ring = ErrorRing(3)
+    assert not ring and ring.capacity == 3
+    ring.extend(["a", "b", "c"])
+    assert list(ring) == ["a", "b", "c"] and ring.dropped == 0
+    ring.append("d")
+    assert list(ring) == ["b", "c", "d"]
+    assert ring.dropped == 1
+    assert ring == ["b", "c", "d"]
+    assert ring[0] == "b"
+    assert ring[1:] == ["c", "d"]  # slicing: repair drivers take tails
+    ring.clear()
+    assert len(ring) == 0 and list(ring) == []
+    assert ring.dropped == 1, "the drop counter is lifetime, not per batch"

@@ -1,0 +1,541 @@
+"""The resilient verdict service, end to end over real sockets.
+
+Every test runs a real asyncio server (:class:`ServiceThread`) and a
+real stdlib HTTP client against it — admission control, deadlines,
+micro-batching, the circuit breaker, graceful drain and the chaos
+drill are all exercised through the wire, not by poking internals.
+The container running CI may expose a single core, so every pooled
+session sizes its pool explicitly with ``processes=2``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.campaign import faults
+from repro.campaign.faults import FaultSpec
+from repro.litmus.registry import get_test
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    VerdictService,
+)
+from repro.service.http import HttpError, Request, response_bytes
+from repro.session import Session
+
+SB_X86 = """
+X86 sb
+{ x=0; y=0; }
+ P0          | P1          ;
+ mov r1,$1   | mov r1,$1   ;
+ mov [x],r1  | mov [y],r1  ;
+ mov r2,[y]  | mov r2,[x]  ;
+exists (0:r2=0 /\\ 1:r2=0)
+"""
+
+#: Fast-converging supervision for the injected-fault tests.
+FAST_SESSION = dict(max_retries=1, retry_backoff=0.01)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_fault_plan():
+    yield
+    faults.uninstall()
+
+
+def make_service(*, processes=2, config=None, **session_kwargs):
+    session = Session(model="power", processes=processes, **{**FAST_SESSION, **session_kwargs})
+    return ServiceThread(
+        service=VerdictService(
+            session=session, config=config or ServiceConfig(port=0)
+        )
+    )
+
+
+# -- healthy path ----------------------------------------------------------------
+
+
+def test_verdict_roundtrip_matches_direct_session():
+    names = ["sb", "mp", "lb"]
+    with Session(model="power") as direct:
+        expected = {name: direct.verdict(get_test(name)) for name in names}
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        response = client.verdict(names, model="power", deadline=60.0)
+        assert response.ok
+        assert [line["test"] for line in response.results] == names
+        for line in response.results:
+            assert line["status"] == "ok"
+            assert line["verdict"] == expected[line["test"]]
+
+
+def test_repair_roundtrip_returns_full_reports():
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        response = client.repair(["sb"], model="power", deadline=120.0)
+        assert response.ok
+        (line,) = response.results
+        assert line["test"] == "sb"
+        assert line["status"] == "ok"
+        report = line["report"]
+        assert report["test"] == "sb"
+        assert report["after_verdict"] == "Forbid"
+        assert report["success"] is True
+
+
+def test_source_submissions_are_parsed_and_answered():
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        response = client.verdict([{"source": SB_X86}], model="tso", deadline=60.0)
+        assert response.ok
+        (line,) = response.results
+        assert line["test"] == "sb"
+        assert line["status"] == "ok"
+        bad = client.verdict([{"source": "not litmus at all"}])
+        assert bad.status == 400
+        assert "unparseable" in bad.error
+
+
+def test_streaming_client_sees_lines_in_request_order():
+    names = ["sb", "mp"]
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        seen = [line["test"] for line in client.stream("/verdict", names, deadline=60.0)]
+        assert seen == names
+
+
+def test_concurrent_requests_are_micro_batched():
+    config = ServiceConfig(port=0, batch_window=0.25, max_batch=16)
+    names = ["sb", "mp", "lb"]
+    with make_service(config=config) as handle:
+        client = ServiceClient(*handle.address)
+        responses = []
+        threads = [
+            threading.Thread(
+                target=lambda: responses.append(
+                    client.verdict(names, deadline=60.0)
+                )
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(response.ok for response in responses)
+        counters = client.stats()["service"]["counters"]
+        assert counters["batched_items"] == 2 * len(names)
+        # Coalescing happened: fewer batches than items.
+        assert counters["batches"] < counters["batched_items"]
+
+
+# -- request validation ----------------------------------------------------------
+
+
+def test_http_error_paths():
+    with make_service(processes=None) as handle:
+        client = ServiceClient(*handle.address)
+        assert client._request("GET", "/nope").status == 404
+        assert client._request("GET", "/verdict").status == 405
+        assert client._request("POST", "/stats").status == 405
+        assert client._request("POST", "/verdict", body=b"{broken").status == 400
+        assert client.verdict([]).status == 400
+        assert client.verdict(["no-such-test"]).status == 400
+        assert client.verdict(["sb"], model="no-such-model").status == 400
+        assert client.verdict(["sb"], deadline=-1).status == 400
+        response = client._request(
+            "POST", "/repair", body=b'{"tests": ["sb"], "strategy": "magic"}'
+        )
+        assert response.status == 400
+        counters = client.stats()["service"]["counters"]
+        assert counters["http_errors"] >= 7
+
+
+# -- backpressure and deadlines --------------------------------------------------
+
+
+def test_admission_queue_sheds_with_429_and_retry_after():
+    config = ServiceConfig(port=0, max_queue=2, batch_window=0.0)
+    with make_service(processes=None, config=config) as handle:
+        service = handle.service
+        original = service._run_group
+
+        def slow_run_group(group, pooled):
+            time.sleep(1.0)
+            return original(group, pooled)
+
+        service._run_group = slow_run_group
+        client = ServiceClient(*handle.address)
+        first: list = []
+        thread = threading.Thread(
+            target=lambda: first.append(client.verdict(["sb"], deadline=30.0))
+        )
+        thread.start()
+        # Wait until the slow batch is actually in flight.
+        deadline = time.monotonic() + 5.0
+        while service._inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service._inflight == 1
+        shed = client.verdict(["sb", "mp"], deadline=30.0)
+        assert shed.status == 429
+        assert shed.retry_after is not None and shed.retry_after >= 1
+        thread.join()
+        assert first[0].ok
+        counters = client.stats()["service"]["counters"]
+        assert counters["shed"] == 2
+        assert counters["admitted"] == 1
+
+
+def test_deadline_kills_a_hung_chunk_and_answers_timeout():
+    faults.install(FaultSpec("hang", "sb", hang_seconds=120.0))
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        started = time.monotonic()
+        response = client.verdict(["sb"], deadline=1.0)
+        elapsed = time.monotonic() - started
+        assert response.ok
+        (line,) = response.results
+        assert line["test"] == "sb"
+        assert line["status"] == "timeout"
+        assert line["error"]["kind"] == "timeout"
+        assert elapsed < 15.0, f"deadline did not bound the request ({elapsed:.1f}s)"
+
+
+def test_expired_queue_items_never_reach_execution():
+    config = ServiceConfig(port=0, max_queue=8, batch_window=0.0)
+    with make_service(processes=None, config=config) as handle:
+        service = handle.service
+        original = service._run_group
+
+        def slow_run_group(group, pooled):
+            time.sleep(0.8)
+            return original(group, pooled)
+
+        service._run_group = slow_run_group
+        client = ServiceClient(*handle.address)
+        blocker: list = []
+        thread = threading.Thread(
+            target=lambda: blocker.append(client.verdict(["sb"], deadline=30.0))
+        )
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while service._inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # This request's budget expires while the slow batch holds the
+        # executor: it must be answered "timeout" without ever running.
+        response = client.verdict(["mp"], deadline=0.2)
+        assert response.ok
+        (line,) = response.results
+        assert line["status"] == "timeout"
+        thread.join()
+        assert blocker[0].ok
+        counters = client.stats()["service"]["counters"]
+        assert counters["expired_in_queue"] == 1
+
+
+# -- the circuit breaker ---------------------------------------------------------
+
+
+def test_breaker_trips_to_degraded_mode_and_recovers():
+    config = ServiceConfig(
+        port=0,
+        breaker_threshold=2,
+        breaker_window=60.0,
+        breaker_probe_interval=0.3,
+        batch_window=0.0,
+    )
+    faults.install(FaultSpec("crash", "sb"))  # workers only: serial mode heals
+    with make_service(config=config) as handle:
+        client = ServiceClient(*handle.address)
+        # Pooled batches crash the worker on every attempt; the
+        # incidents trip the breaker.
+        poisoned = client.verdict(["sb"], deadline=60.0)
+        assert poisoned.ok
+        for _ in range(20):
+            if client.stats()["service"]["breaker"]["state"] == OPEN:
+                break
+            client.verdict(["sb"], deadline=60.0)
+        stats = client.stats()["service"]
+        assert stats["breaker"]["state"] == OPEN
+        assert stats["breaker"]["trips"] >= 1
+
+        # Open breaker: execution degrades to serial in-process, where
+        # the worker-only fault does not fire — requests still succeed.
+        degraded = client.verdict(["sb"], deadline=60.0)
+        assert degraded.ok
+        assert degraded.results[0]["status"] == "ok"
+        assert degraded.results[0]["mode"] == "serial"
+        assert client.stats()["service"]["counters"]["degraded_batches"] >= 1
+
+        # Wait out the probe interval: the next batch is the half-open
+        # probe.  The live workers inherited the fault plan at fork, so
+        # the probe uses a test the plan does not target — a clean
+        # probe closes the breaker.
+        faults.uninstall()
+        time.sleep(0.35)
+        probe = client.verdict(["mp"], deadline=60.0)
+        assert probe.ok
+        assert probe.results[0]["mode"] == "pooled"
+        stats = client.stats()["service"]
+        assert stats["breaker"]["state"] == CLOSED
+        assert stats["counters"]["probe_batches"] >= 1
+
+
+def test_breaker_unit_automaton():
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        threshold=3, window=10.0, probe_interval=5.0, clock=lambda: clock[0]
+    )
+    assert breaker.allow_pooled()
+    breaker.record_incidents(2)
+    assert breaker.state == CLOSED
+    breaker.record_incidents(1)
+    assert breaker.state == OPEN
+    assert not breaker.allow_pooled()
+    clock[0] = 6.0
+    assert breaker.allow_pooled()  # this batch is the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow_pooled()  # one probe at a time
+    breaker.record_probe(healthy=False)
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    clock[0] = 12.0
+    assert breaker.allow_pooled()
+    breaker.record_probe(healthy=True)
+    assert breaker.state == CLOSED
+    assert breaker.recent_incidents() == 0
+    # Incidents outside the window never trip.
+    breaker.record_incidents(2)
+    clock[0] = 30.0
+    breaker.record_incidents(2)
+    assert breaker.state == CLOSED
+
+
+# -- observability ---------------------------------------------------------------
+
+
+def test_stats_and_healthz_expose_service_and_session_trees():
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        client.verdict(["sb"], deadline=60.0)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        stats = client.stats()
+        service = stats["service"]
+        assert service["breaker"]["state"] == CLOSED
+        assert service["config"]["max_queue"] == 256
+        assert service["counters"]["responses"] >= 1
+        assert service["draining"] is False
+        session = stats["session"]
+        assert "supervisor" in session and "caches" in session
+        assert "errors_dropped" in session["supervisor"]
+
+
+# -- graceful drain --------------------------------------------------------------
+
+
+def test_graceful_drain_finishes_in_flight_and_rejects_new():
+    config = ServiceConfig(port=0, drain_window=10.0, batch_window=0.0)
+    handle = make_service(processes=None, config=config).start()
+    service = handle.service
+    original = service._run_group
+
+    def slow_run_group(group, pooled):
+        time.sleep(0.6)
+        return original(group, pooled)
+
+    service._run_group = slow_run_group
+    client = ServiceClient(*handle.address)
+    inflight: list = []
+    thread = threading.Thread(
+        target=lambda: inflight.append(client.verdict(["sb"], deadline=30.0))
+    )
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while service._inflight == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+
+    handle.request_drain()
+    deadline = time.monotonic() + 5.0
+    while not service._draining and time.monotonic() < deadline:
+        time.sleep(0.01)
+    rejected = client.verdict(["mp"], deadline=30.0)
+    assert rejected.status == 503
+    assert rejected.retry_after is not None
+
+    thread.join()
+    handle.join()
+    assert inflight[0].ok, "in-flight work must complete during the drain"
+    assert inflight[0].results[0]["status"] == "ok"
+    assert service.counters["rejected_draining"] == 1
+    assert service.counters["drain_unanswered"] == 0
+    assert service.counters["drain_seconds"] > 0
+    assert service.session._pool is None, "drain must close the pool"
+    assert service.breaker.state == CLOSED
+
+
+def test_drain_window_expiry_aborts_an_overdue_chunk():
+    faults.install(FaultSpec("hang", "sb", hang_seconds=120.0))
+    config = ServiceConfig(port=0, drain_window=0.5, batch_window=0.0)
+    handle = make_service(config=config).start()
+    service = handle.service
+    client = ServiceClient(*handle.address)
+    hung: list = []
+    thread = threading.Thread(
+        # A huge deadline: only the drain window may cut this short.
+        target=lambda: hung.append(client.verdict(["sb"], deadline=120.0))
+    )
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while service._inflight == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+
+    started = time.monotonic()
+    handle.request_drain()
+    thread.join(timeout=30.0)
+    handle.join(30.0)
+    elapsed = time.monotonic() - started
+    assert elapsed < 20.0, f"drain did not bound the hung chunk ({elapsed:.1f}s)"
+    assert hung and hung[0].ok
+    (line,) = hung[0].results
+    # The overdue chunk was killed: the item is answered, not dropped.
+    assert line["status"] in ("unavailable", "timeout", "quarantined")
+    assert service.counters["drain_seconds"] >= 0.5
+    assert service.session._pool is None
+
+
+# -- chaos: concurrent load, a killed worker, a poison test ----------------------
+
+
+def test_chaos_every_well_formed_request_is_answered():
+    config = ServiceConfig(port=0, max_queue=64, batch_window=0.01)
+    with make_service(config=config, chunk_timeout=20.0) as handle:
+        service = handle.service
+        client = ServiceClient(*handle.address)
+        # Warm the pool so there is a worker to kill.
+        assert client.verdict(["sb"], deadline=60.0).ok
+
+        responses: list = []
+        lock = threading.Lock()
+
+        def hammer(batch):
+            for _ in range(3):
+                response = client.verdict(batch, deadline=60.0)
+                with lock:
+                    responses.append(response)
+
+        threads = [
+            threading.Thread(target=hammer, args=(batch,))
+            for batch in (["sb", "mp"], ["lb", "sb"], ["mp", "lb"], ["wrc"])
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Mid-load: murder a pool worker and poison one test.
+        time.sleep(0.1)
+        supervised = service.session._pool._supervised
+        if supervised is not None and supervised._members:
+            supervised._members[0].process.terminate()
+        faults.install(FaultSpec("raise", "lb"))
+
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert len(responses) == 12, "every request must come back"
+        for response in responses:
+            assert response.status in (200, 429, 503)
+            if response.status == 200:
+                # Every test got an explicit outcome line.
+                for line in response.results:
+                    assert line["status"] in (
+                        "ok",
+                        "quarantined",
+                        "timeout",
+                        "error",
+                        "unavailable",
+                    )
+        assert client.healthz()["status"] == "ok", "the service must survive"
+
+
+# -- SIGTERM ---------------------------------------------------------------------
+
+
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.getcwd(), "src")
+    trace = tmp_path / "service_trace.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            "0",
+            "--processes",
+            "2",
+            "--trace",
+            str(trace),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if "listening on http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port, "server never reported its port"
+        client = ServiceClient("127.0.0.1", port)
+        assert client.verdict(["sb"], deadline=60.0).ok
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=60.0)
+        assert returncode == 0, "SIGTERM must drain and exit 0"
+        assert trace.exists(), "--trace must export telemetry on drain"
+        assert trace.read_text().strip(), "the trace must hold records"
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30.0)
+
+
+# -- config and http plumbing ----------------------------------------------------
+
+
+def test_service_config_validates():
+    with pytest.raises(ValueError):
+        ServiceConfig(max_queue=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(batch_window=-0.1)
+    with pytest.raises(ValueError):
+        ServiceConfig(default_deadline=10.0, max_deadline=5.0)
+    assert ServiceConfig().as_dict()["max_batch"] == 16
+
+
+def test_http_helpers_roundtrip():
+    raw = response_bytes(429, {"error": "full"}, extra_headers={"Retry-After": "1"})
+    text = raw.decode("latin-1")
+    assert text.startswith("HTTP/1.1 429 Too Many Requests\r\n")
+    assert "Retry-After: 1" in text
+    assert '{"error": "full"}' in text
+    with pytest.raises(HttpError) as caught:
+        Request(method="POST", path="/verdict", body=b"{nope").json()
+    assert caught.value.status == 400
+    with pytest.raises(HttpError):
+        Request(method="POST", path="/verdict", body=b"").json()
