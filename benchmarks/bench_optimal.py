@@ -1,0 +1,112 @@
+"""The optimal exploration engine vs the pruning grid on exploding tests.
+
+Not a paper table: this benchmark gates ``Simulator(engine="optimal")``
+(:mod:`repro.herd.optimal`) on the workload it exists for — diy-style
+tests whose rf×co candidate grid explodes combinatorially while the
+consistent-execution set stays tiny.  The ``coherence_stress_family``
+shape (per-thread write bursts of length ``m``) has a grid of
+``(m!)^threads`` per path combination and exactly one surviving
+execution: the pruning engine must *try* every per-location coherence
+permutation to discard it, while the optimal engine constructs the one
+canonical linearization directly.
+
+The committed baseline records, per size:
+
+* wall-clock of a full ``Simulator.run`` under both engines and the
+  speedup ratio (the headline number — must exceed 1 on the largest
+  size);
+* the zero-waste claim: executions-explored == consistent-executions
+  for the optimal engine, against the pruning engine's
+  coherence-orders-tried on the same test;
+* byte-identical summaries (grid size, allowed count, outcome sets,
+  verdict) across both engines — re-asserted in-run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.diy.families import coherence_stress_family
+from repro.herd import Simulator
+from repro.herd import engine as pruning_engine
+from repro.herd import optimal as optimal_engine
+
+SIZES = (6, 7)  # writes per location; the grid is (m!)^2
+
+
+def _stress_row(writes_per_location: int) -> dict:
+    [test] = coherence_stress_family(
+        "power", threads=2, writes_per_location=writes_per_location
+    )
+    timings = {}
+    summaries = {}
+    for engine in ("pruning", "optimal"):
+        simulator = Simulator("power", engine=engine)
+        start = time.perf_counter()
+        result = simulator.run(test)
+        timings[engine] = time.perf_counter() - start
+        summaries[engine] = (
+            result.num_candidates,
+            result.num_allowed,
+            frozenset(result.allowed_outcomes),
+            frozenset(result.all_outcomes),
+            result.verdict,
+        )
+    assert summaries["pruning"] == summaries["optimal"], "summaries must agree"
+
+    variant = Simulator("power")._pruning_variant()
+    co_orders_tried = 0
+    for plan in pruning_engine.plans(test, variant):
+        for _ in plan.leaves():
+            pass
+        co_orders_tried += plan.co_orders_tried
+    explored = survivors = extension_steps = dead_ends = 0
+    for plan in optimal_engine.plans(test, variant):
+        survivors += sum(1 for _ in plan.leaves())
+        explored += plan.explored
+        extension_steps += plan.extension_steps
+        dead_ends += plan.dead_ends
+    assert explored == survivors, "optimal must explore each survivor exactly once"
+
+    return {
+        "writes_per_location": writes_per_location,
+        "grid_candidates": summaries["pruning"][0],
+        "allowed": summaries["pruning"][1],
+        "verdict": summaries["pruning"][4],
+        "pruning_seconds": timings["pruning"],
+        "optimal_seconds": timings["optimal"],
+        "speedup": timings["pruning"] / timings["optimal"],
+        "pruning_co_orders_tried": co_orders_tried,
+        "optimal_explored": explored,
+        "optimal_extension_steps": extension_steps,
+        "optimal_dead_ends": dead_ends,
+        "survivors": survivors,
+    }
+
+
+def _run_all():
+    # Warm-up pays the one-off costs (architecture construction, code
+    # caches) outside the per-engine timings.
+    [small] = coherence_stress_family("power", threads=2, writes_per_location=3)
+    for engine in ("pruning", "optimal"):
+        Simulator("power", engine=engine).run(small)
+    return [_stress_row(m) for m in SIZES]
+
+
+def test_optimal_vs_pruning_on_exploding_grid(benchmark):
+    rows = run_once(benchmark, _run_all)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]
+    largest = rows[-1]
+    # The committed baseline tracks the precise ratio; the in-run gate
+    # asserts the qualitative claim on the largest grid.
+    assert largest["speedup"] > 1.0, "optimal must beat pruning on the exploding grid"
+    for row in rows:
+        assert row["optimal_explored"] == row["survivors"], "zero waste"
+        assert row["pruning_co_orders_tried"] > row["optimal_extension_steps"], (
+            "the pruning engine must have tried strictly more orders than "
+            "the optimal engine took steps"
+        )

@@ -101,6 +101,8 @@ def _healthy_stats():
         "batches": counters["batches"],
         "batched_items": counters["batched_items"],
         "shed": counters["shed"],
+        "connections": counters["connections"],
+        "keepalive_reuses": counters["keepalive_reuses"],
     }
 
 
@@ -113,6 +115,10 @@ def test_service_healthy_latency_and_overhead(benchmark):
     assert stats["shed"] == 0, "a healthy load must not be shed"
     # Coalescing happened: concurrent requests shared batches.
     assert stats["batches"] <= stats["batched_items"]
+    # Keep-alive happened: far fewer TCP connections than requests
+    # (one per hammering thread, not one per verdict).
+    assert stats["connections"] < stats["requests"]
+    assert stats["keepalive_reuses"] >= stats["requests"] - stats["connections"]
     # The committed baseline tracks the precise ratio; the in-run gate
     # only catches pathological regressions (HTTP + scheduling on a
     # shared single-core CI runner is noisy).

@@ -34,9 +34,13 @@ import itertools
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.herd.engine import ComboPlan, combination_matches_target
+from repro.herd.engine import BasePlan, ComboPlan, combination_matches_target
 from repro.herd.enumerate import CombinationContext, _thread_paths, combination_context
+from repro.herd.optimal import OptimalPlan
 from repro.litmus.ast import LitmusTest
+
+#: Plan classes by engine name (the plan-based half of ``ENGINES``).
+_PLAN_CLASSES = {"pruning": ComboPlan, "optimal": OptimalPlan}
 
 Fingerprint = Tuple
 
@@ -92,7 +96,7 @@ class SimulationContext:
         self._combinations: Optional[Tuple] = None
         self._locations: Optional[set] = None
         self._contexts: Dict[int, CombinationContext] = {}
-        self._plans: Dict[Tuple[str, int], ComboPlan] = {}
+        self._plans: Dict[Tuple[str, str, int], BasePlan] = {}
 
     def combinations(self) -> Tuple:
         """All choices of per-thread paths (enumerated once)."""
@@ -113,23 +117,34 @@ class SimulationContext:
             self._contexts[index] = context
         return context
 
-    def plan(self, variant: str, index: int) -> ComboPlan:
-        """The pruning plan of combination *index* for one SC-PER-LOCATION
-        variant (built once per variant)."""
-        key = (variant, index)
+    def plan(
+        self, variant: str, index: int, engine: str = "pruning"
+    ) -> BasePlan:
+        """The plan of combination *index* for one SC-PER-LOCATION
+        variant and one plan-based engine (built once per pair).  For
+        ``engine="optimal"`` the cached plan also carries its solved
+        per-location walks, so repeated queries — under any model —
+        skip the exploration entirely."""
+        key = (engine, variant, index)
         plan = self._plans.get(key)
         if plan is None:
-            plan = ComboPlan(self.context(index), self.test, variant)
+            plan_class = _PLAN_CLASSES[engine]
+            plan = plan_class(self.context(index), self.test, variant)
             self._plans[key] = plan
         return plan
 
-    def plans(self, variant: str = "standard") -> Iterator[ComboPlan]:
+    def plans(
+        self, variant: str = "standard", engine: str = "pruning"
+    ) -> Iterator[BasePlan]:
         """Every combination's plan — the cached analogue of
-        :func:`repro.herd.engine.plans`."""
+        :func:`repro.herd.engine.plans` (or, for ``engine="optimal"``,
+        :func:`repro.herd.optimal.plans`)."""
         for index in range(len(self.combinations())):
-            yield self.plan(variant, index)
+            yield self.plan(variant, index, engine)
 
-    def target_plans(self, variant: str = "standard") -> Iterator[ComboPlan]:
+    def target_plans(
+        self, variant: str = "standard", engine: str = "pruning"
+    ) -> Iterator[BasePlan]:
         """Plans of the combinations that could witness the target — the
         cached analogue of :func:`repro.herd.engine.target_plans`,
         filtering with the same register-atom predicate."""
@@ -138,7 +153,7 @@ class SimulationContext:
         for index, combination in enumerate(self.combinations()):
             if not combination_matches_target(combination, condition):
                 continue
-            yield self.plan(variant, index)
+            yield self.plan(variant, index, engine)
 
 
 class ContextCache:
@@ -184,6 +199,10 @@ class ContextCache:
     def evictions(self) -> int:
         return self._stats.evictions
 
+    @property
+    def expirations(self) -> int:
+        return self._stats.expirations
+
     def get(self, test: LitmusTest) -> SimulationContext:
         """The context of *test*, building (and caching) it on a miss."""
         import time
@@ -193,11 +212,13 @@ class ContextCache:
         context = self._entries.get(key)
         if context is not None and self.ttl is not None:
             if now - self._stamps.get(key, now) > self.ttl:
-                # Idle-expired: the entry counts as evicted, the access
-                # as a miss, and the context is rebuilt below.
+                # Idle-expired: the entry counts as evicted (and is
+                # attributed as an expiration), the access as a miss,
+                # and the context is rebuilt below.
                 del self._entries[key]
                 self._stamps.pop(key, None)
                 self._stats.evict()
+                self._stats.expire()
                 context = None
         if context is not None:
             self._stats.hit()
@@ -235,4 +256,5 @@ class ContextCache:
             "hits": self._stats.hits,
             "misses": self._stats.misses,
             "evictions": self._stats.evictions,
+            "expirations": self._stats.expirations,
         }

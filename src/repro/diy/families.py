@@ -266,6 +266,43 @@ def sweep_family(
     return FamilySweep(model_name=simulator.model_name, verdicts=tuple(verdicts))
 
 
+def coherence_stress_family(
+    arch: str = "power", threads: int = 2, writes_per_location: int = 6
+) -> List[LitmusTest]:
+    """Tests whose rf×co candidate grid explodes factorially.
+
+    Each thread ``t`` writes ``1..m`` to its own location ``xt`` (a
+    same-thread write burst: po-loc forces the coherence order, but the
+    *grid* still holds all ``m!`` permutations per location) and then
+    observes the next thread's location; the ``exists`` clause asks for
+    the co-final value everywhere.  The grid is ``(m!)^threads`` per
+    path combination with exactly one uniproc-consistent execution — the
+    shape where the pruning engine's per-location order enumeration
+    pays maximally and the optimal engine's constructive walk pays
+    nothing.  Returned as a one-test family for sweep drivers.
+    """
+    from repro.litmus.ast import TestBuilder
+
+    builder = TestBuilder(
+        f"coh-stress-{threads}x{writes_per_location}",
+        arch=arch,
+        doc="per-thread write bursts: (m!)^T candidate grid, one survivor",
+    )
+    observers = []
+    for thread in range(threads):
+        thread_builder = builder.thread()
+        for value in range(1, writes_per_location + 1):
+            thread_builder.store(f"x{thread}", value)
+        observers.append(thread_builder.load(f"x{(thread + 1) % threads}"))
+    builder.exists(
+        {
+            (thread, register): writes_per_location
+            for thread, register in enumerate(observers)
+        }
+    )
+    return [builder.build()]
+
+
 def shared_gap_family(arch: str = "power") -> List[LitmusTest]:
     """Hand-built multi-cycle tests whose critical cycles share a gap.
 

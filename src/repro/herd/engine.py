@@ -86,8 +86,32 @@ class SurvivingLeaf:
         )
 
 
-class ComboPlan:
-    """The pruning plan of one combination of per-thread paths."""
+def sc_per_location_rows(context: CombinationContext, variant: str) -> List[int]:
+    """The po-loc successor rows the given SC PER LOCATION variant
+    constrains with (``llh`` lets read-read pairs leave po-loc).  Shared
+    between the pruning and optimal engines so both enforce exactly the
+    same per-variant graph."""
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown SC PER LOCATION variant: {variant!r}")
+    po_loc = context.po.same_location()
+    if variant == "llh":
+        reads_mask = context.index.reads_mask
+        return [
+            row & ~reads_mask if reads_mask >> i & 1 else row
+            for i, row in enumerate(po_loc._rows)
+        ]
+    return list(po_loc._rows)
+
+
+class BasePlan:
+    """What every enumeration plan of one combination shares.
+
+    A plan owns one :class:`CombinationContext` and answers the
+    *summary* questions — the full candidate-grid size and the outcome
+    universe — combinatorially, identically for every engine; the
+    engine-specific part is :meth:`leaves`, the walk over the
+    uniproc-consistent assignments.
+    """
 
     def __init__(
         self,
@@ -100,30 +124,26 @@ class ComboPlan:
         self.context = context
         self.test = test
         self.variant = variant
-        index = context.index
-
-        po_loc = context.po.same_location()
-        if variant == "llh":
-            # Load-load hazards allowed: read-read pairs leave po-loc.
-            reads_mask = index.reads_mask
-            rows = [
-                row & ~reads_mask if reads_mask >> i & 1 else row
-                for i, row in enumerate(po_loc._rows)
-            ]
-        else:
-            rows = list(po_loc._rows)
-        self._base_closure = rows_closure(rows)
-
         self.total = context.total_candidates
-        #: candidates skipped by pruning during the last `survivors()` walk.
+        #: candidates of the grid not yielded by the last `leaves()` walk.
         self.pruned = 0
-        #: statistics of the last `leaves()` walk (telemetry reads them):
-        #: rf source pairs examined, co orders examined, incremental
-        #: closure-edge insertions, surviving leaves yielded.
-        self.rf_candidates = 0
-        self.co_orders_tried = 0
-        self.closure_edge_ops = 0
         self.survivors_count = 0
+
+    def leaves(self, with_outcomes: bool = True) -> Iterator["SurvivingLeaf"]:
+        raise NotImplementedError
+
+    def survivors(
+        self, with_outcomes: bool = True
+    ) -> Iterator[Tuple[Candidate, Optional[Outcome]]]:
+        """Depth-first walk yielding only uniproc-consistent candidates.
+
+        Yields ``(candidate, outcome)`` pairs (``outcome`` is None when
+        ``with_outcomes`` is False).  After exhaustion, ``self.pruned``
+        holds the number of candidates skipped, and
+        ``pruned + number of survivors == total``.
+        """
+        for leaf in self.leaves(with_outcomes=with_outcomes):
+            yield leaf.candidate(), leaf.outcome
 
     # -- outcome universe ---------------------------------------------------------
 
@@ -208,20 +228,25 @@ class ComboPlan:
         }
         return self._project(register_part, memory)
 
+class ComboPlan(BasePlan):
+    """The pruning plan of one combination of per-thread paths."""
+
+    def __init__(
+        self,
+        context: CombinationContext,
+        test: Optional[LitmusTest] = None,
+        variant: str = "standard",
+    ):
+        super().__init__(context, test, variant)
+        self._base_closure = rows_closure(sc_per_location_rows(context, variant))
+        #: statistics of the last `leaves()` walk (telemetry reads them):
+        #: rf source pairs examined, co orders examined, incremental
+        #: closure-edge insertions.
+        self.rf_candidates = 0
+        self.co_orders_tried = 0
+        self.closure_edge_ops = 0
+
     # -- the pruned walk ----------------------------------------------------------
-
-    def survivors(
-        self, with_outcomes: bool = True
-    ) -> Iterator[Tuple[Candidate, Optional[Outcome]]]:
-        """Depth-first walk yielding only uniproc-consistent candidates.
-
-        Yields ``(candidate, outcome)`` pairs (``outcome`` is None when
-        ``with_outcomes`` is False).  After exhaustion, ``self.pruned``
-        holds the number of candidates skipped by subtree cuts, and
-        ``pruned + number of survivors == total``.
-        """
-        for leaf in self.leaves(with_outcomes=with_outcomes):
-            yield leaf.candidate(), leaf.outcome
 
     def leaves(self, with_outcomes: bool = True) -> Iterator["SurvivingLeaf"]:
         """Like :meth:`survivors`, but candidates materialize lazily.

@@ -1,0 +1,429 @@
+"""Optimal stateless exploration engine (GenMC-style; zero wasted walks).
+
+The pruning engine (:mod:`repro.herd.engine`) still *enumerates* the
+rf×co candidate grid — it cuts doomed subtrees early, but a location
+with ``m`` same-thread writes makes it try all ``m!`` coherence
+permutations per surviving prefix just to keep one.  This engine never
+materializes the grid: following GenMC's optimal DPOR (Kokologiannakis
+& Vafeiadis), it *constructs* each SC-PER-LOCATION-consistent execution
+exactly once, extending an execution graph one event at a time and
+consulting the model's per-location acyclicity via the po-loc
+reachability rows shared with the pruning engine.
+
+Two observations make the walk optimal in this setting (thread paths
+fixed, read values fixed by the combination):
+
+1. **The uniproc graph factorizes per location.**  Every edge of
+   ``po-loc ∪ rf ∪ co ∪ fr`` connects two accesses of the same
+   location, so the union graph is a disjoint union of per-location
+   components and consistency decomposes into a *product* over
+   locations of per-location (rf_ℓ, co_ℓ) choices.
+
+2. **Per-location consistent pairs are in bijection with canonical
+   linearizations.**  A pair (rf_ℓ, co_ℓ) satisfies SC PER LOCATION
+   exactly when the sequence "co-first write, its readers ascending by
+   event id, co-next write, its readers, …" extends po-loc (for the
+   ``llh`` variant, po-loc minus its read-read pairs).  The walk
+   therefore grows that sequence directly: at each step it may place a
+   po-ready read into the *open* coherence segment (assigning its rf to
+   the segment's write — a read placed after newer writes arrived is
+   the revisit of GenMC's revisit sets, counted as such) or open a new
+   segment with a po-ready write (fixing the next co edge).  Every
+   completed sequence is a consistent execution; distinct sequences
+   give distinct executions; every consistent execution is reached.
+
+Executions-explored therefore equals consistent-executions by
+construction — the differential suite asserts it.  The only wasted work
+is *blocked* walks (a read whose every remaining rf source got buried
+by coherence), detected by per-read source-availability counts the
+moment a segment closes and surfaced as the ``engine.optimal.dead_ends``
+counter; they abort in O(1) steps instead of costing a subtree.
+
+:class:`OptimalPlan` mirrors :class:`~repro.herd.engine.ComboPlan`'s
+interface (``total``, ``all_outcomes()``, ``leaves()`` yielding
+:class:`~repro.herd.engine.SurvivingLeaf`), so summaries stay
+byte-identical to the pruning and naive engines and the verdict fast
+path, session verbs, campaign sharding and context cache all work
+unchanged behind ``Simulator(engine="optimal")``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro import telemetry as _telemetry
+from repro.core.bitrel import iter_bits, rows_inverse
+from repro.core.events import Event
+from repro.herd.engine import (
+    BasePlan,
+    Outcome,
+    SurvivingLeaf,
+    combination_matches_target,
+    sc_per_location_rows,
+)
+from repro.herd.enumerate import (
+    CombinationContext,
+    _thread_paths,
+    combination_context,
+    combination_contexts,
+)
+from repro.litmus.ast import LitmusTest
+
+#: One per-location solution: the rf source of each local read (aligned
+#: with the location's reads in event order) and the coherence order.
+LocationSolution = Tuple[Tuple[Event, ...], Tuple[Event, ...]]
+
+
+class LocationWalk:
+    """The canonical-linearization walk of one location.
+
+    Enumerates every consistent (rf_ℓ, co_ℓ) pair exactly once by
+    growing the canonical sequence described in the module docstring.
+    Local universe: the location's non-init writes (ids ``0..W-1``) and
+    reads (ids ``W..W+R-1``), both in ascending event order; the init
+    write(s) are pre-placed as coherence segment 0.
+    """
+
+    __slots__ = (
+        "location",
+        "init",
+        "writes",
+        "reads",
+        "read_positions",
+        "sources",
+        "source_sets",
+        "preds",
+        "steps",
+        "revisits",
+        "dead_ends",
+    )
+
+    def __init__(
+        self,
+        location: str,
+        init: Tuple[Event, ...],
+        writes: List[Event],
+        reads: List[Event],
+        read_positions: List[int],
+        sources: List[Tuple[Event, ...]],
+        preds: List[int],
+    ):
+        self.location = location
+        self.init = init
+        self.writes = writes
+        self.reads = reads
+        #: positions of the local reads inside ``context.reads``.
+        self.read_positions = read_positions
+        self.sources = sources
+        self.source_sets = [frozenset(s) for s in sources]
+        #: per local id, the bitmask of local events po-loc-before it.
+        self.preds = preds
+        self.steps = 0
+        self.revisits = 0
+        self.dead_ends = 0
+
+    def solve(self) -> List[LocationSolution]:
+        """Every consistent per-location assignment, constructed directly."""
+        writes = self.writes
+        reads = self.reads
+        preds = self.preds
+        sources = self.sources
+        source_sets = self.source_sets
+        num_writes = len(writes)
+        num_reads = len(reads)
+        full_mask = (1 << (num_writes + num_reads)) - 1
+        solutions: List[LocationSolution] = []
+        if not full_mask:
+            # Only the init write: one trivial solution, zero choices.
+            return [((), self.init)]
+
+        rf: List[Optional[Event]] = [None] * num_reads
+        order: List[Event] = list(self.init)
+        #: still-reachable rf sources per unplaced read: unplaced writes
+        #: plus the open segment's write (init starts open).
+        avail = [len(s) for s in sources]
+        #: coherence-segment ordinal at which each placed event landed
+        #: (local ids; init writes are segment 0 implicitly).
+        placed_at = [0] * (num_writes + num_reads)
+        #: segment ordinal of each placed *write* event (rf sources).
+        write_seg: Dict[Event, int] = {w: 0 for w in self.init}
+        steps = 0
+        revisits = 0
+        dead_ends = 0
+
+        def extend(placed: int, cur: Optional[Event], seg: int, watermark: int) -> None:
+            nonlocal steps, revisits, dead_ends
+            if placed == full_mask:
+                solutions.append((tuple(rf), tuple(order)))  # type: ignore[arg-type]
+                return
+            children = 0
+            # (a) a po-ready read joins the open segment (rf := cur).
+            #     Ascending local id keeps the sequence canonical: each
+            #     segment's readers appear in event order exactly once.
+            if cur is not None:
+                for j in range(watermark + 1, num_reads):
+                    bit = 1 << (num_writes + j)
+                    if placed & bit:
+                        continue
+                    if preds[num_writes + j] & ~placed:
+                        continue
+                    if cur not in source_sets[j]:
+                        continue
+                    steps += 1
+                    children += 1
+                    # Revisit: the read was already po-ready while an
+                    # earlier source's segment was open, and reads from
+                    # a write that arrived later instead.
+                    ready = 0
+                    for p in iter_bits(preds[num_writes + j]):
+                        if placed_at[p] > ready:
+                            ready = placed_at[p]
+                    if any(
+                        ready <= write_seg[s] < seg
+                        for s in sources[j]
+                        if s in write_seg
+                    ):
+                        revisits += 1
+                    rf[j] = cur
+                    placed_at[num_writes + j] = seg
+                    extend(placed | bit, cur, seg, j)
+                    rf[j] = None
+            # (b) a po-ready write opens the next segment (fixing co).
+            #     Closing the open segment buries it: any unplaced read
+            #     whose last reachable source is the open write would be
+            #     orphaned — prune all write children at once.
+            if placed & ((1 << num_writes) - 1) != (1 << num_writes) - 1:
+                doomed = cur is not None and any(
+                    avail[j] == 1
+                    and not placed >> (num_writes + j) & 1
+                    and cur in source_sets[j]
+                    for j in range(num_reads)
+                )
+                if not doomed:
+                    closing = (
+                        [
+                            j
+                            for j in range(num_reads)
+                            if not placed >> (num_writes + j) & 1
+                            and cur in source_sets[j]
+                        ]
+                        if cur is not None
+                        else []
+                    )
+                    for j in closing:
+                        avail[j] -= 1
+                    for i in range(num_writes):
+                        if placed >> i & 1 or preds[i] & ~placed:
+                            continue
+                        steps += 1
+                        children += 1
+                        write = writes[i]
+                        order.append(write)
+                        write_seg[write] = seg + 1
+                        placed_at[i] = seg + 1
+                        extend(placed | (1 << i), write, seg + 1, -1)
+                        del write_seg[write]
+                        order.pop()
+                    for j in closing:
+                        avail[j] += 1
+            if not children:
+                dead_ends += 1
+
+        cur = self.init[-1] if self.init else None
+        extend(0, cur, 0, -1)
+        self.steps = steps
+        self.revisits = revisits
+        self.dead_ends = dead_ends
+        return solutions
+
+
+class OptimalPlan(BasePlan):
+    """The optimal-exploration plan of one combination of per-thread paths.
+
+    ``total``/``all_outcomes()`` stay the combinatorial full-grid
+    answers of :class:`~repro.herd.engine.BasePlan` (summaries must be
+    byte-identical across engines); :meth:`leaves` yields exactly the
+    consistent executions, composed as a product of per-location
+    canonical walks.  The per-location solve runs once per plan and is
+    reused by later walks (the plan, like the context, is
+    model-independent).
+    """
+
+    def __init__(
+        self,
+        context: CombinationContext,
+        test: Optional[LitmusTest] = None,
+        variant: str = "standard",
+    ):
+        super().__init__(context, test, variant)
+        #: consistent executions yielded by the last `leaves()` walk.
+        self.explored = 0
+        #: solve-time statistics (accumulated over every location):
+        #: extension steps, reads re-assigned past an available source,
+        #: blocked walks aborted by the availability check.
+        self.extension_steps = 0
+        self.revisits = 0
+        self.dead_ends = 0
+        self._solutions: Optional[List[List[LocationSolution]]] = None
+        self._read_positions: Optional[List[List[int]]] = None
+
+    # -- the per-location solve ---------------------------------------------------
+
+    def _walks(self) -> List[LocationWalk]:
+        context = self.context
+        index = context.index
+        ids = index.ids
+        preds_global = rows_inverse(sc_per_location_rows(context, self.variant))
+        walks: List[LocationWalk] = []
+        for location in context.locations:
+            init = tuple(
+                w for w in context.writes if w.location == location and w.is_init()
+            )
+            writes = [
+                w
+                for w in context.writes
+                if w.location == location and not w.is_init()
+            ]
+            reads: List[Event] = []
+            read_positions: List[int] = []
+            sources: List[Tuple[Event, ...]] = []
+            for position, read in enumerate(context.reads):
+                if read.location != location:
+                    continue
+                reads.append(read)
+                read_positions.append(position)
+                sources.append(context.rf_sources[position])
+            local_of_global = {
+                ids[event]: local for local, event in enumerate(writes + reads)
+            }
+            preds = []
+            for event in writes + reads:
+                mask = 0
+                for g in iter_bits(preds_global[ids[event]]):
+                    local = local_of_global.get(g)
+                    if local is not None:
+                        mask |= 1 << local
+                preds.append(mask)
+            walks.append(
+                LocationWalk(
+                    location, init, writes, reads, read_positions, sources, preds
+                )
+            )
+        return walks
+
+    def _solve(self) -> List[List[LocationSolution]]:
+        if self._solutions is None:
+            steps = revisits = dead_ends = 0
+            solutions: List[List[LocationSolution]] = []
+            positions: List[List[int]] = []
+            for walk in self._walks():
+                solutions.append(walk.solve())
+                positions.append(walk.read_positions)
+                steps += walk.steps
+                revisits += walk.revisits
+                dead_ends += walk.dead_ends
+            self.extension_steps = steps
+            self.revisits = revisits
+            self.dead_ends = dead_ends
+            self._solutions = solutions
+            self._read_positions = positions
+            registry = _telemetry._ACTIVE
+            if registry is not None:
+                registry.count("engine.optimal.extension_steps", steps)
+                registry.count("engine.optimal.revisits", revisits)
+                registry.count("engine.optimal.dead_ends", dead_ends)
+        return self._solutions
+
+    # -- the optimal walk ---------------------------------------------------------
+
+    def leaves(self, with_outcomes: bool = True) -> Iterator["SurvivingLeaf"]:
+        """Yield exactly the uniproc-consistent executions, one leaf each.
+
+        ``explored == survivors_count`` always: the walk constructs
+        consistent executions instead of filtering a grid, so there is
+        nothing to prune at walk time (``pruned`` reports the grid
+        complement, for summary parity with the other engines).
+        """
+        self.pruned = 0
+        self.survivors_count = 0
+        self.explored = 0
+        context = self.context
+        if context.reads and not context.feasible:
+            return
+        per_location = self._solve()
+        read_positions = self._read_positions or []
+
+        register_part = self._register_part() if with_outcomes else []
+        condition = self.test.condition if self.test is not None else None
+        constant_outcome: Optional[Outcome] = None
+        if (
+            with_outcomes
+            and condition is not None
+            and all(atom.kind == "reg" for atom in condition.atoms)
+        ):
+            constant_outcome = tuple(sorted(set(register_part)))
+
+        reads = context.reads
+        num_reads = len(reads)
+        explored = 0
+        try:
+            for choice in itertools.product(*per_location):
+                rf_of: List[Optional[Event]] = [None] * num_reads
+                orders: List[Tuple[Event, ...]] = []
+                for (rf_local, order), positions in zip(choice, read_positions):
+                    orders.append(order)
+                    for position, source in zip(positions, rf_local):
+                        rf_of[position] = source
+                assignment = tuple(
+                    (rf_of[position], reads[position])
+                    for position in range(num_reads)
+                )
+                if constant_outcome is not None:
+                    outcome: Optional[Outcome] = constant_outcome
+                elif with_outcomes:
+                    outcome = self._leaf_outcome(register_part, orders)
+                else:
+                    outcome = None
+                explored += 1
+                yield SurvivingLeaf(context, assignment, tuple(orders), outcome)
+        finally:
+            self.explored = explored
+            self.survivors_count = explored
+            self.pruned = self.total - explored
+            registry = _telemetry._ACTIVE
+            if registry is not None:
+                registry.count("engine.optimal.walks")
+                registry.count("engine.optimal.explored", explored)
+
+
+def plans(
+    test: LitmusTest,
+    variant: str = "standard",
+    value_domain: Optional[Sequence[int]] = None,
+) -> Iterator[OptimalPlan]:
+    """One :class:`OptimalPlan` per combination of per-thread paths."""
+    for context in combination_contexts(test, value_domain):
+        yield OptimalPlan(context, test, variant)
+
+
+def target_plans(
+    test: LitmusTest,
+    variant: str = "standard",
+    value_domain: Optional[Sequence[int]] = None,
+) -> Iterator[OptimalPlan]:
+    """Plans of the combinations that could witness the target outcome.
+
+    Filters with the same register-atom predicate as
+    :func:`repro.herd.engine.target_plans`, so the verdict fast path
+    behaves identically across engines.
+    """
+    condition = test.condition
+    assert condition is not None, "target_plans needs a final condition"
+    all_paths = _thread_paths(test, value_domain)
+    locations = set(test.locations())
+    for combination in itertools.product(*all_paths):
+        if not combination_matches_target(combination, condition):
+            continue
+        context = combination_context(combination, locations, test.init_memory)
+        yield OptimalPlan(context, test, variant)

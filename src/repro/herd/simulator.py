@@ -22,10 +22,14 @@ Two enumeration engines sit underneath (selected by ``engine=``):
   SC PER LOCATION are cut as whole subtrees, whose candidate counts and
   outcomes are reconstructed combinatorially, so the summary is
   *identical* to the naive engine's;
+* ``"optimal"`` — the GenMC-style optimal explorer of
+  :mod:`repro.herd.optimal`: constructs each consistent execution
+  exactly once (explored == survivors, zero grid waste) instead of
+  enumerating and cutting the rf×co grid; summaries stay identical;
 * ``"naive"`` — the brute-force reference oracle of
   :mod:`repro.herd.enumerate`, kept for differential testing and for
-  queries the pruning engine does not serve (``keep_candidates``, duck
-  -typed models whose axiom set is unknown).
+  queries the plan-based engines do not serve (``keep_candidates``,
+  duck-typed models whose axiom set is unknown).
 
 ``run(..., until="target")`` is the verdict-only fast path: enumeration
 stops the moment the target outcome is proven reachable, and model
@@ -54,6 +58,7 @@ from repro import telemetry as _telemetry
 from repro.core.architectures import get_architecture
 from repro.core.model import Architecture, CheckResult, Model
 from repro.herd import engine as _engine
+from repro.herd import optimal as _optimal
 from repro.herd.enumerate import Candidate, candidate_executions
 from repro.litmus.ast import LitmusTest
 from repro.report import JsonReportMixin, outcome_key
@@ -61,7 +66,7 @@ from repro.report import JsonReportMixin, outcome_key
 Outcome = Tuple[Tuple[str, int], ...]
 ModelLike = Union[str, Architecture, Model]
 
-ENGINES = ("auto", "pruning", "naive")
+ENGINES = ("auto", "pruning", "optimal", "naive")
 
 
 def resolve_model(model: ModelLike) -> Model:
@@ -147,9 +152,12 @@ class Simulator:
     """A reusable simulator bound to one model.
 
     ``engine`` selects the enumeration strategy: ``"pruning"`` (subtree
-    cuts on SC PER LOCATION violations), ``"naive"`` (the reference
-    cross product) or ``"auto"`` (pruning whenever the query and the
-    model allow it).
+    cuts on SC PER LOCATION violations), ``"optimal"`` (GenMC-style
+    construction of each consistent execution exactly once),
+    ``"naive"`` (the reference cross product) or ``"auto"`` (pruning
+    whenever the query and the model allow it).  ``"optimal"`` and
+    ``"pruning"`` fall back to ``"naive"`` for queries only the oracle
+    serves (``keep_candidates``, duck-typed models).
     """
 
     def __init__(self, model: ModelLike, engine: str = "auto"):
@@ -186,21 +194,22 @@ class Simulator:
         if until not in (None, "target"):
             raise ValueError(f"unknown until mode {until!r}")
         variant = self._pruning_variant()
-        use_pruning = (
-            self.engine in ("auto", "pruning")
-            and not keep_candidates
-            and variant is not None
-        )
+        planned = not keep_candidates and variant is not None
+        if planned and self.engine == "optimal":
+            engine_name = "optimal"
+        elif planned and self.engine in ("auto", "pruning"):
+            engine_name = "pruning"
+        else:
+            engine_name = "naive"
         registry = _telemetry._ACTIVE
         if registry is None:
-            if use_pruning:
-                return self._run_pruning(test, variant, until, context)
+            if engine_name != "naive":
+                return self._run_planned(test, variant, until, context, engine_name)
             return self._run_naive(
                 test, keep_candidates, stop_at_first_violation, until
             )
         # Telemetry enabled: every run is a trace span (name, model,
         # engine, verdict-vs-full) plus per-engine counters.
-        engine_name = "pruning" if use_pruning else "naive"
         with registry.span(
             "herd.run",
             test=test.name,
@@ -208,8 +217,8 @@ class Simulator:
             engine=engine_name,
             mode="verdict" if until == "target" else "full",
         ):
-            if use_pruning:
-                result = self._run_pruning(test, variant, until, context)
+            if engine_name != "naive":
+                result = self._run_planned(test, variant, until, context, engine_name)
             else:
                 result = self._run_naive(
                     test, keep_candidates, stop_at_first_violation, until
@@ -223,11 +232,20 @@ class Simulator:
         """Allow/Forbid for the target outcome (early-exit fast path)."""
         return self.run(test, until="target", context=context).verdict
 
-    # -- pruning engine -----------------------------------------------------------
+    # -- planned engines (pruning / optimal) --------------------------------------
 
-    def _run_pruning(
-        self, test: LitmusTest, variant: str, until: Optional[str], context=None
+    def _run_planned(
+        self,
+        test: LitmusTest,
+        variant: str,
+        until: Optional[str],
+        context=None,
+        kind: str = "pruning",
     ) -> SimulationResult:
+        """Shared driver of the plan-based engines: both yield only
+        uniproc-consistent leaves with full-grid summary counts, so the
+        per-leaf model checks (``assume_sc_per_location=True``) and the
+        verdict fast path are engine-independent."""
         check = self.model.check
         allowed_outcomes: set = set()
         all_outcomes: set = set()
@@ -238,15 +256,16 @@ class Simulator:
 
         if context is not None:
             plan_source = (
-                context.target_plans(variant)
+                context.target_plans(variant, engine=kind)
                 if verdict_only
-                else context.plans(variant)
+                else context.plans(variant, engine=kind)
             )
         else:
+            module = _optimal if kind == "optimal" else _engine
             plan_source = (
-                _engine.target_plans(test, variant)
+                module.target_plans(test, variant)
                 if verdict_only
-                else _engine.plans(test, variant)
+                else module.plans(test, variant)
             )
         plans_walked = 0
         plans_skipped = 0

@@ -7,6 +7,16 @@ long-lived server actually meets:
 * **Overload** — admission is bounded: once ``max_queue`` items are
   admitted and unanswered, new requests are shed with ``429`` and a
   ``Retry-After`` hint instead of growing an unbounded backlog.
+* **Greedy clients** — admission is also *fair*: each client (its
+  ``X-Client-Id`` header, or its peer address absent one) may hold at
+  most ``max_inflight_per_client`` admitted-and-unanswered items, so a
+  batch submitter that floods the queue is shed (``429``, same hint)
+  while polite clients keep landing inside the global cap.
+* **Connection churn** — connections are HTTP/1.1 keep-alive: one
+  socket serves up to ``keepalive_max_requests`` requests and closes
+  after ``keepalive_idle_timeout`` idle seconds, so batch clients stop
+  paying a TCP handshake per verdict.  Parse errors and drains still
+  close (a desynchronized or draining stream is never kept).
 * **Slow work** — every request carries a deadline (its own, or the
   configured default).  The budget propagates down into the supervisor
   as ``SupervisorPolicy.with_budget``: chunk attempts are capped at it,
@@ -55,8 +65,11 @@ __all__ = ["VerdictService", "ServiceThread", "serve"]
 #: full shape, quiet servers included.
 _COUNTER_NAMES = (
     "requests",
+    "connections",
+    "keepalive_reuses",
     "admitted",
     "shed",
+    "shed_per_client",
     "rejected_draining",
     "expired_in_queue",
     "batches",
@@ -129,6 +142,9 @@ class VerdictService:
         self.counters["drain_seconds"] = 0.0
         self._queue: Deque[_Item] = deque()
         self._inflight = 0
+        self._client_inflight: Dict[str, int] = {}
+        self._connections: set = set()
+        self._busy_connections: set = set()
         self._draining = False
         self._closed = False
         self._drain_started = False
@@ -226,6 +242,14 @@ class VerdictService:
         self._closed = True
         if self._server is not None:
             self._server.close()
+        # Kept-alive connections idling between requests would otherwise
+        # pin the listener shutdown until their idle timeout expires;
+        # busy ones are mid-response and close themselves (the handler
+        # loop never keeps a connection once the drain has started).
+        for writer in list(self._connections - self._busy_connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._server is not None:
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
         if self._wake is not None:
@@ -262,12 +286,25 @@ class VerdictService:
         model: str,
         strategy: Optional[str],
         budget: float,
+        client: Optional[str] = None,
     ) -> List[_Item]:
         if self._draining or self._closed:
             self._count("rejected_draining", len(tests))
             raise HttpError(
                 503, "service is draining", self._retry_after_headers()
             )
+        # Per-client fairness first: a greedy client is told it (and
+        # only it) is over quota even while the global queue has room.
+        if client is not None:
+            held = self._client_inflight.get(client, 0)
+            if held + len(tests) > self.config.max_inflight_per_client:
+                self._count("shed_per_client", len(tests))
+                raise HttpError(
+                    429,
+                    f"client {client} holds {held} in-flight items "
+                    f"(per-client cap {self.config.max_inflight_per_client})",
+                    self._retry_after_headers(),
+                )
         depth = len(self._queue) + self._inflight
         if depth + len(tests) > self.config.max_queue:
             self._count("shed", len(tests))
@@ -283,12 +320,28 @@ class VerdictService:
             _Item(kind, test, model, strategy, deadline, loop.create_future())
             for test in tests
         ]
+        if client is not None:
+            self._client_inflight[client] = (
+                self._client_inflight.get(client, 0) + len(items)
+            )
+            for item in items:
+                item.future.add_done_callback(
+                    lambda _future, c=client: self._client_done(c)
+                )
         self._queue.extend(items)
         self._count("admitted", len(items))
         _telemetry.set_gauge("service.queue_depth", len(self._queue) + self._inflight)
         if self._wake is not None:
             self._wake.set()
         return items
+
+    def _client_done(self, client: str) -> None:
+        """One of *client*'s items was answered: release its quota slot."""
+        held = self._client_inflight.get(client, 0) - 1
+        if held > 0:
+            self._client_inflight[client] = held
+        else:
+            self._client_inflight.pop(client, None)
 
     def _resolve(self, item: _Item, outcome: Dict[str, Any]) -> None:
         if not item.future.done():
@@ -555,25 +608,71 @@ class VerdictService:
     # -- HTTP ---------------------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        cfg = self.config
+        served = 0
+        self._count("connections")
+        self._connections.add(writer)
         streaming = ChunkedWriter(writer)
         try:
-            request = await read_request(
-                reader, self.config.max_body_bytes, self.config.read_timeout
-            )
-            if request is not None:
-                await self._route(request, writer, streaming)
-        except HttpError as error:
-            self._count("http_errors")
-            if not streaming.started:
-                with contextlib.suppress(Exception):
-                    writer.write(
-                        response_bytes(
-                            error.status,
-                            {"error": error.detail},
-                            extra_headers=error.headers,
-                        )
+            while not self._closed:
+                streaming = ChunkedWriter(writer)
+                try:
+                    request = await read_request(
+                        reader,
+                        cfg.max_body_bytes,
+                        cfg.read_timeout,
+                        # The first request gets the full read timeout;
+                        # a kept-alive connection waiting for its next
+                        # request is closed quietly once it goes idle.
+                        idle_timeout=cfg.keepalive_idle_timeout if served else None,
                     )
-                    await writer.drain()
+                except HttpError as error:
+                    # A parse-level failure may leave the stream
+                    # desynchronized: answer if possible, then close.
+                    self._count("http_errors")
+                    with contextlib.suppress(Exception):
+                        writer.write(
+                            response_bytes(
+                                error.status,
+                                {"error": error.detail},
+                                extra_headers=error.headers,
+                            )
+                        )
+                        await writer.drain()
+                    return
+                if request is None:
+                    return  # clean EOF or idle keep-alive expiry
+                served += 1
+                if served > 1:
+                    self._count("keepalive_reuses")
+                keep_alive = (
+                    served < cfg.keepalive_max_requests
+                    and not self._draining
+                    and request.headers.get("connection", "").lower() != "close"
+                )
+                self._busy_connections.add(writer)
+                try:
+                    await self._route(request, writer, streaming, keep_alive)
+                except HttpError as error:
+                    # Application-level: the request was read in full,
+                    # so the connection stays in sync and may go on.
+                    self._count("http_errors")
+                    if streaming.started:
+                        return
+                    with contextlib.suppress(Exception):
+                        writer.write(
+                            response_bytes(
+                                error.status,
+                                {"error": error.detail},
+                                extra_headers=error.headers,
+                                keep_alive=keep_alive,
+                            )
+                        )
+                        await writer.drain()
+                finally:
+                    self._busy_connections.discard(writer)
+                if not keep_alive or self._draining:
+                    return
         except (ConnectionError, asyncio.TimeoutError):
             pass  # the client went away; nothing to answer
         except Exception as exc:  # noqa: BLE001 — one connection, not the server
@@ -583,16 +682,24 @@ class VerdictService:
                     writer.write(response_bytes(500, {"error": repr(exc)}))
                     await writer.drain()
         finally:
+            self._connections.discard(writer)
+            self._busy_connections.discard(writer)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
 
-    async def _route(self, request: Request, writer, streaming: ChunkedWriter) -> None:
+    async def _route(
+        self,
+        request: Request,
+        writer,
+        streaming: ChunkedWriter,
+        keep_alive: bool = False,
+    ) -> None:
         path, method = request.path, request.method
         if path == "/stats":
             if method != "GET":
                 raise HttpError(405, "use GET /stats")
-            writer.write(response_bytes(200, self.stats()))
+            writer.write(response_bytes(200, self.stats(), keep_alive=keep_alive))
             await writer.drain()
             return
         if path == "/healthz":
@@ -606,6 +713,7 @@ class VerdictService:
                         "workers": self.session.workers,
                         "breaker": self.breaker.state,
                     },
+                    keep_alive=keep_alive,
                 )
             )
             await writer.drain()
@@ -616,8 +724,15 @@ class VerdictService:
             self._count("requests")
             kind = path[1:]
             tests, model, strategy, budget = self._parse_submission(request, kind)
-            items = self._admit(kind, tests, model, strategy, budget)
-            await streaming.start(200)
+            # Fairness identity: the client's self-declared id when it
+            # sends one (ServiceClient always does — one id across all
+            # of its connections), else the peer address.
+            peername = writer.get_extra_info("peername")
+            client = request.headers.get("x-client-id") or (
+                peername[0] if isinstance(peername, tuple) else None
+            )
+            items = self._admit(kind, tests, model, strategy, budget, client)
+            await streaming.start(200, keep_alive=keep_alive)
             for item in items:
                 remaining = item.deadline - time.monotonic()
                 try:
@@ -712,6 +827,8 @@ class VerdictService:
                 "counters": dict(self.counters),
                 "queue_depth": len(self._queue),
                 "inflight": self._inflight,
+                "clients_inflight": dict(self._client_inflight),
+                "open_connections": len(self._connections),
                 "draining": self._draining,
                 "breaker": self.breaker.as_dict(),
                 "config": self.config.as_dict(),

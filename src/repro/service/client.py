@@ -2,17 +2,24 @@
 
 Built on :class:`http.client.HTTPConnection` (stdlib), which decodes
 chunked transfer encoding transparently — ``readline`` on the response
-yields NDJSON result lines as the server streams them.  The client is
-deliberately thin: it exposes shed/drain responses (429/503 with their
-``Retry-After``) instead of hiding them behind retries, because load
-generators and tests need to *observe* backpressure, and real callers
-should decide their own retry policy.
+yields NDJSON result lines as the server streams them.  Connections are
+**reused**: the server speaks HTTP/1.1 keep-alive, so the client keeps
+one persistent connection per thread (the one-shot verbs are the batch
+submitters' hot path) and transparently reconnects once when the server
+has meanwhile closed it — keep-alive request cap, idle timeout or
+restart.  The client is otherwise deliberately thin: it exposes
+shed/drain responses (429/503 with their ``Retry-After``) instead of
+hiding them behind retries, because load generators and tests need to
+*observe* backpressure, and real callers should decide their own retry
+policy.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
+import uuid
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 __all__ = ["ServiceClient", "ServiceResponse"]
@@ -67,6 +74,37 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        # One persistent keep-alive connection per thread: the client is
+        # routinely shared by hammering threads, and HTTPConnection is
+        # not thread-safe.
+        self._local = threading.local()
+        # One identity across all of this client's threads and
+        # connections — the unit of the server's admission fairness.
+        self.client_id = uuid.uuid4().hex[:16]
+
+    # -- connection reuse ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (if any)."""
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- one-shot verbs -----------------------------------------------------------
 
@@ -116,14 +154,22 @@ class ServiceClient:
         strategy: Optional[str] = None,
     ) -> Iterator[Dict[str, Any]]:
         """Yield result lines of a 200 response as the server streams
-        them; raises ``RuntimeError`` on a non-200 answer."""
+        them; raises ``RuntimeError`` on a non-200 answer.  Streaming
+        uses a dedicated connection (an abandoned generator must not
+        poison the thread's reusable one)."""
         body = self._body(tests, model, deadline, strategy)
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             connection.request(
-                "POST", path, body=body, headers={"Content-Type": "application/json"}
+                "POST",
+                path,
+                body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Client-Id": self.client_id,
+                },
             )
             raw = connection.getresponse()
             if raw.status != 200:
@@ -160,16 +206,30 @@ class ServiceClient:
         )
 
     def _request(self, method: str, path: str, body: Optional[bytes] = None) -> ServiceResponse:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
-            raw = connection.getresponse()
-            header_map = {name.lower(): value for name, value in raw.getheaders()}
+        headers = {"X-Client-Id": self.client_id}
+        if body:
+            headers["Content-Type"] = "application/json"
+        for retry in (False, True):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                raw = connection.getresponse()
+                header_map = {
+                    name.lower(): value for name, value in raw.getheaders()
+                }
+                text = raw.read().decode("utf-8", "replace")
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # The server closed the kept-alive connection between
+                # requests (request cap, idle timeout, restart): retry
+                # once on a fresh socket, then let the failure surface.
+                self.close()
+                if retry:
+                    raise
+                continue
+            if raw.will_close:
+                self.close()
             results: List[Dict[str, Any]] = []
-            for line in raw.read().decode("utf-8", "replace").splitlines():
+            for line in text.splitlines():
                 line = line.strip()
                 if not line:
                     continue
@@ -178,5 +238,4 @@ class ServiceClient:
                 except ValueError:
                     results.append({"error": line})
             return ServiceResponse(raw.status, header_map, results)
-        finally:
-            connection.close()
+        raise AssertionError("unreachable")  # pragma: no cover

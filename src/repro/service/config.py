@@ -15,7 +15,15 @@ class ServiceConfig:
     Admission: ``max_queue`` bounds the admitted-but-unanswered item
     count — a request that would push past it is shed with ``429`` and
     ``Retry-After: retry_after`` (a draining server sheds with ``503``
-    instead).  Batching: the dispatcher coalesces compatible queued
+    instead) — and ``max_inflight_per_client`` bounds the share any one
+    client (identified by its ``X-Client-Id`` header, or its peer
+    address absent one) may hold of it, so a greedy batch submitter is
+    shed (429, same hint) while polite clients keep being admitted.
+    Connections: HTTP/1.1 keep-alive — one connection serves up to
+    ``keepalive_max_requests`` requests and is closed after
+    ``keepalive_idle_timeout`` seconds without a next request (a
+    draining server closes after the in-flight response instead).
+    Batching: the dispatcher coalesces compatible queued
     items into campaign chunks of up to ``max_batch`` tests, waiting at
     most ``batch_window`` seconds for stragglers to arrive.  Deadlines:
     a request may carry ``{"deadline": seconds}``; absent one it gets
@@ -32,6 +40,9 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8787
     max_queue: int = 256
+    max_inflight_per_client: int = 64
+    keepalive_max_requests: int = 100
+    keepalive_idle_timeout: float = 5.0
     max_batch: int = 16
     batch_window: float = 0.01
     default_deadline: float = 30.0
@@ -47,6 +58,9 @@ class ServiceConfig:
     def __post_init__(self):
         positive = (
             "max_queue",
+            "max_inflight_per_client",
+            "keepalive_max_requests",
+            "keepalive_idle_timeout",
             "max_batch",
             "default_deadline",
             "max_deadline",
@@ -76,6 +90,9 @@ class ServiceConfig:
             "host": self.host,
             "port": self.port,
             "max_queue": self.max_queue,
+            "max_inflight_per_client": self.max_inflight_per_client,
+            "keepalive_max_requests": self.keepalive_max_requests,
+            "keepalive_idle_timeout": self.keepalive_idle_timeout,
             "max_batch": self.max_batch,
             "batch_window": self.batch_window,
             "default_deadline": self.default_deadline,

@@ -5,10 +5,14 @@ but no asyncio HTTP server — and the service must stay stdlib-only.
 This module implements exactly the subset the verdict service needs and
 nothing more: request-line + header + ``Content-Length`` body parsing
 with hard caps, plain JSON responses, and ``chunked`` transfer encoding
-for streaming NDJSON results as they land.  Every connection is
-``Connection: close`` — the clients are batch submitters, not browsers,
-and one-request connections keep the server's state machine trivial
-(nothing to desynchronize under errors, no pipelining corner cases).
+for streaming NDJSON results as they land.  Connections are persistent
+(HTTP/1.1 keep-alive) so batch submitters stop paying a TCP handshake
+per verdict: the server loops requests on one socket up to a
+per-connection cap and an idle timeout, and every response declares its
+intent (``Connection: keep-alive`` or ``close``) explicitly.  Parse
+errors still close the connection — a desynchronized stream is never
+worth resynchronizing — and pipelining stays unsupported (the server
+reads the next request only after answering the previous one).
 """
 
 from __future__ import annotations
@@ -76,18 +80,31 @@ async def read_request(
     reader: asyncio.StreamReader,
     max_body: int,
     timeout: float,
+    idle_timeout: Optional[float] = None,
 ) -> Optional[Request]:
     """Parse one request off the stream, or ``None`` on immediate EOF.
 
+    With ``idle_timeout`` set (a kept-alive connection waiting for its
+    next request), a connection that stays silent past it also returns
+    ``None`` — an idle keep-alive close, not an error; once the first
+    byte arrives the ordinary ``timeout`` governs the rest of the head.
     Raises :class:`HttpError` for malformed, oversized or overdue
     requests; the caller renders it as the response.
     """
+    prefix = b""
+    if idle_timeout is not None:
+        try:
+            prefix = await asyncio.wait_for(
+                reader.readexactly(1), timeout=idle_timeout
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            return None  # the connection went idle or away between requests
     try:
-        head = await asyncio.wait_for(
+        head = prefix + await asyncio.wait_for(
             reader.readuntil(b"\r\n\r\n"), timeout=timeout
         )
     except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
+        if not prefix and not exc.partial:
             return None  # clean EOF before any bytes: client went away
         raise HttpError(400, "truncated request head") from None
     except asyncio.LimitOverrunError:
@@ -147,6 +164,7 @@ def response_bytes(
     *,
     content_type: str = "application/json",
     extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> bytes:
     """A complete non-streaming response (JSON unless told otherwise)."""
     if isinstance(payload, bytes):
@@ -160,7 +178,7 @@ def response_bytes(
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
@@ -190,12 +208,13 @@ class ChunkedWriter:
         *,
         content_type: str = "application/x-ndjson",
         extra_headers: Optional[Dict[str, str]] = None,
+        keep_alive: bool = False,
     ) -> None:
         lines = [
             f"HTTP/1.1 {status} {STATUS_REASONS.get(status, 'Unknown')}",
             f"Content-Type: {content_type}",
             "Transfer-Encoding: chunked",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         for name, value in (extra_headers or {}).items():
             lines.append(f"{name}: {value}")

@@ -25,20 +25,31 @@ __all__ = ["CacheStats"]
 
 
 class CacheStats:
-    """Hit/miss/eviction counters of one named cache."""
+    """Hit/miss/eviction counters of one named cache.
 
-    __slots__ = ("name", "hits", "misses", "evictions", "_entries",
-                 "_hit_key", "_miss_key", "_evict_key")
+    ``expirations`` attributes the *idle-TTL* share of the eviction
+    traffic: an entry that aged out counts as both an eviction (the
+    historical aggregate every probe already reads) and an expiration,
+    so a long-lived owner can tell "the cache is too small" (evictions
+    without expirations) from "entries idle out between batches"
+    (evictions matched by expirations) straight off ``GET /stats``.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions", "expirations",
+                 "_entries", "_hit_key", "_miss_key", "_evict_key",
+                 "_expire_key")
 
     def __init__(self, name: str, entries: Optional[Callable[[], int]] = None):
         self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expirations = 0
         self._entries = entries
         self._hit_key = f"cache.{name}.hits"
         self._miss_key = f"cache.{name}.misses"
         self._evict_key = f"cache.{name}.evictions"
+        self._expire_key = f"cache.{name}.expirations"
 
     # The guards read repro.telemetry's module-level registry directly:
     # a cache event while telemetry is disabled costs one attribute load
@@ -62,6 +73,14 @@ class CacheStats:
         if registry is not None:
             registry.count(self._evict_key, amount)
 
+    def expire(self, amount: int = 1) -> None:
+        """Count *amount* idle-TTL expirations (also counted as
+        evictions by the owner — see the class docstring)."""
+        self.expirations += amount
+        registry = _active()
+        if registry is not None:
+            registry.count(self._expire_key, amount)
+
     @property
     def entries(self) -> int:
         """Live entry count (0 when the owner supplied no counter)."""
@@ -80,6 +99,7 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expirations = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The uniform probe shape of every cache."""
@@ -89,6 +109,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "expirations": self.expirations,
             "hit_rate": round(self.hit_rate, 4),
         }
 

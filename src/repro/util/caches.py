@@ -36,7 +36,10 @@ class BoundedTTLCache(MutableMapping):
     clock of an entry resets on every read or write, so only entries
     nobody touches age out.  ``stats`` (a
     :class:`~repro.telemetry.CacheStats`) receives one ``evict`` per
-    entry shed by either bound.
+    entry shed by either bound, and idle-expired entries *additionally*
+    receive one ``expire`` — so a long-lived owner's probe can tell
+    capacity pressure from idle aging without the eviction aggregate
+    changing shape.
     """
 
     __slots__ = ("max_entries", "ttl", "_entries", "_stats", "_clock")
@@ -64,6 +67,14 @@ class BoundedTTLCache(MutableMapping):
         if self._stats is not None and amount:
             self._stats.evict(amount)
 
+    def _idled_out(self, amount: int = 1) -> None:
+        """An idle-TTL expiry: an eviction, attributed as expiry too."""
+        if self._stats is not None and amount:
+            self._stats.evict(amount)
+            expire = getattr(self._stats, "expire", None)
+            if expire is not None:
+                expire(amount)
+
     def _expired(self, stamp: float, now: float) -> bool:
         return self.ttl is not None and now - stamp > self.ttl
 
@@ -79,7 +90,7 @@ class BoundedTTLCache(MutableMapping):
         ]
         for key in stale:
             del self._entries[key]
-        self._evicted(len(stale))
+        self._idled_out(len(stale))
         return len(stale)
 
     def __getitem__(self, key: Any) -> Any:
@@ -87,7 +98,7 @@ class BoundedTTLCache(MutableMapping):
         value, stamp = entry
         if self._expired(stamp, self._clock()):
             del self._entries[key]
-            self._evicted()
+            self._idled_out()
             raise KeyError(key)
         entry[1] = self._clock()
         self._entries.move_to_end(key)
@@ -118,7 +129,7 @@ class BoundedTTLCache(MutableMapping):
             return False
         if self._expired(entry[1], self._clock()):
             del self._entries[key]
-            self._evicted()
+            self._idled_out()
             return False
         return True
 

@@ -89,6 +89,43 @@ def test_cache_validates_its_bounds():
     assert BoundedTTLCache(max_entries=None, ttl=None) is not None
 
 
+def test_idle_expiry_is_attributed_separately_from_capacity_eviction():
+    clock = Clock()
+    stats = CacheStats("test")
+    cache = BoundedTTLCache(max_entries=2, ttl=10.0, stats=stats, clock=clock)
+    cache["a"], cache["b"] = 1, 2
+    cache["c"] = 3  # capacity eviction of "a": not an expiry
+    assert (stats.evictions, stats.expirations) == (1, 0)
+    clock.now = 12.0
+    assert "b" not in cache  # idle expiry: both counters move
+    assert (stats.evictions, stats.expirations) == (2, 1)
+    cache["d"] = 4
+    clock.now = 24.0
+    assert cache.purge() == 2  # purge-driven expiry is attributed too
+    assert (stats.evictions, stats.expirations) == (4, 3)
+
+
+def test_context_cache_expiry_reaches_stats_and_telemetry():
+    from repro import telemetry
+
+    cache = ContextCache(capacity=8, ttl=0.02)
+    test = get_test("sb")
+    metrics = telemetry.enable()
+    try:
+        cache.get(test)
+        time.sleep(0.05)
+        cache.get(test)  # rebuilds: one eviction, attributed as expiry
+        assert cache.evictions == 1
+        assert cache.expirations == 1
+        assert cache.stats()["expirations"] == 1
+        assert cache.cache_stats().as_dict()["expirations"] == 1
+        counters = metrics.snapshot().counters
+        assert counters["cache.context.expirations"] == 1
+        assert counters["cache.context.evictions"] == 1
+    finally:
+        telemetry.disable()
+
+
 def test_context_cache_idle_ttl_rebuilds_expired_contexts():
     cache = ContextCache(capacity=8, ttl=0.02)
     test = get_test("sb")

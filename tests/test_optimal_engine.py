@@ -1,0 +1,268 @@
+"""Differential suite: the optimal exploration engine vs pruning vs naive.
+
+The optimal engine (:mod:`repro.herd.optimal`) must be observationally
+identical to both existing engines while *constructing* each consistent
+execution exactly once:
+
+* its leaves are exactly the pruning engine's surviving leaves — same
+  events, same rf, same co, same outcomes — over the full registry and
+  diy families, under both SC PER LOCATION variants;
+* executions-explored == surviving-leaf count (the optimality claim:
+  the walk never builds an execution it then discards);
+* simulator summaries (counts, outcome sets, verdicts) agree across
+  ``engine="optimal"``, ``"pruning"`` and ``"naive"`` for every model;
+* the ``until="target"`` fast path, the campaign context cache, the
+  session verbs and sharded sweeps all serve ``engine="optimal"``
+  unchanged;
+* under telemetry, the ``engine.optimal.*`` counters are published and
+  internally consistent (revisits/dead ends bounded by extension steps,
+  explored equal to the plan totals).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.campaign.context import ContextCache, SimulationContext
+from repro.diy.families import (
+    coherence_stress_family,
+    extended_family,
+    sweep_family,
+    two_thread_family,
+)
+from repro.herd import engine as pruning_engine
+from repro.herd import optimal as optimal_engine
+from repro.herd.simulator import ENGINES, Simulator
+from repro.litmus.registry import entries, get_test
+
+MODELS = ("sc", "tso", "power", "arm")
+
+#: Small sample for the (expensive) three-way naive comparison.
+SUMMARY_SAMPLE = (
+    "mp", "mp+lwsync+addr", "sb", "sb+syncs", "lb", "lb+addrs", "r", "s",
+    "2+2w", "wrc", "wrc+addrs", "rwc", "iriw", "iriw+syncs", "isa2",
+    "coRR", "coWW", "coRW1", "coRW2", "w+rw+2w",
+)
+
+
+def _registry_tests():
+    return [get_test(entry.name) for entry in entries()]
+
+
+def _sample_tests():
+    known = {entry.name for entry in entries()}
+    return [get_test(name) for name in SUMMARY_SAMPLE if name in known]
+
+
+def _family_tests():
+    return (
+        two_thread_family("power", limit=8)
+        + extended_family("power", limit=4)
+        + coherence_stress_family("power", threads=2, writes_per_location=3)
+        + coherence_stress_family("power", threads=3, writes_per_location=2)
+    )
+
+
+def _leaf_key(leaf):
+    candidate = leaf.candidate()
+    return (
+        candidate.execution.events,
+        candidate.execution.rf.pairs,
+        candidate.execution.co.pairs,
+        leaf.outcome,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_registry():
+    yield
+    telemetry.disable()
+
+
+# -- survivor-set identity ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ("standard", "llh"))
+@pytest.mark.parametrize(
+    "test", _registry_tests() + _family_tests(), ids=lambda t: t.name
+)
+def test_optimal_explores_exactly_the_pruning_survivors(test, variant):
+    pruning_keys = {
+        _leaf_key(leaf)
+        for plan in pruning_engine.plans(test, variant)
+        for leaf in plan.leaves()
+    }
+    optimal_keys = set()
+    for plan in optimal_engine.plans(test, variant):
+        walked = 0
+        for leaf in plan.leaves():
+            walked += 1
+            optimal_keys.add(_leaf_key(leaf))
+        # Optimality: every constructed execution is a survivor, and the
+        # grid complement is accounted for combinatorially.
+        assert plan.explored == plan.survivors_count == walked
+        assert walked + plan.pruned == plan.total
+    assert optimal_keys == pruning_keys
+
+
+# -- summary identity across all three engines --------------------------------------
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize(
+    "test", _sample_tests() + _family_tests()[:6], ids=lambda t: t.name
+)
+def test_summaries_agree_across_all_three_engines(test, model):
+    optimal = Simulator(model, engine="optimal").run(test)
+    pruning = Simulator(model, engine="pruning").run(test)
+    naive = Simulator(model, engine="naive").run(test)
+    for other in (pruning, naive):
+        assert optimal.num_candidates == other.num_candidates
+        assert optimal.num_allowed == other.num_allowed
+        assert optimal.allowed_outcomes == other.allowed_outcomes
+        assert optimal.all_outcomes == other.all_outcomes
+        assert optimal.verdict == other.verdict
+        assert optimal.condition_holds == other.condition_holds
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_full_registry_verdicts_agree_with_pruning(model):
+    optimal = Simulator(model, engine="optimal")
+    pruning = Simulator(model, engine="pruning")
+    for test in _registry_tests():
+        assert optimal.verdict(test) == pruning.verdict(test), test.name
+
+
+# -- fast path, context cache, session and campaign integration ---------------------
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("test", _sample_tests()[:8], ids=lambda t: t.name)
+def test_verdict_fast_path_and_context_agree(test, model):
+    full = Simulator(model, engine="optimal").run(test).verdict
+    assert Simulator(model, engine="optimal").verdict(test) == full
+    context = SimulationContext(test)
+    fast = Simulator(model, engine="optimal").run(
+        test, until="target", context=context
+    )
+    assert fast.verdict == full
+    # The cached plans are reused across models and queries.
+    again = Simulator(model, engine="optimal").run(test, context=context)
+    assert again.verdict == full
+
+
+def test_context_caches_optimal_and_pruning_plans_separately():
+    test = get_test("sb")
+    context = SimulationContext(test)
+    optimal_plans = list(context.plans("standard", engine="optimal"))
+    pruning_plans = list(context.plans("standard", engine="pruning"))
+    assert all(isinstance(p, optimal_engine.OptimalPlan) for p in optimal_plans)
+    assert all(isinstance(p, pruning_engine.ComboPlan) for p in pruning_plans)
+    # Same keys hit the same plan objects on re-query.
+    assert list(context.plans("standard", engine="optimal")) == optimal_plans
+
+
+def test_engine_registry_exposes_optimal():
+    assert "optimal" in ENGINES
+    with pytest.raises(ValueError):
+        Simulator("sc", engine="optimally")
+
+
+def test_optimal_falls_back_to_naive_for_oracle_queries():
+    test = get_test("sb")
+    result = Simulator("sc", engine="optimal").run(test, keep_candidates=True)
+    reference = Simulator("sc", engine="naive").run(test, keep_candidates=True)
+    assert len(result.allowed_candidates) == len(reference.allowed_candidates)
+    assert result.num_candidates == reference.num_candidates
+
+
+def test_session_and_sharded_sweep_serve_the_optimal_engine():
+    from repro.session import Session
+
+    tests = [get_test(name) for name in ("sb", "mp", "lb", "wrc")]
+    with Session(model="power", engine="optimal") as session:
+        verdicts = dict(session.sweep(tests).verdicts)
+    baseline = {
+        test.name: Simulator("power", engine="pruning").verdict(test)
+        for test in tests
+    }
+    assert verdicts == baseline
+
+    sharded = sweep_family(tests, "power", processes=2, engine="optimal")
+    assert dict(sharded.verdicts) == baseline
+
+    cache = ContextCache()
+    serial = sweep_family(tests, "power", engine="optimal", context_cache=cache)
+    assert dict(serial.verdicts) == baseline
+    assert cache.misses == len(tests)
+
+
+# -- optimality and telemetry counters ----------------------------------------------
+
+
+def test_zero_waste_on_the_exploding_grid():
+    """The benchmark claim in miniature: the grid is (m!)^threads but
+    the optimal walk takes O(survivors) extension steps."""
+    [test] = coherence_stress_family("power", threads=2, writes_per_location=5)
+    grid = explored = steps = 0
+    for plan in optimal_engine.plans(test, "standard"):
+        survivors = sum(1 for _ in plan.leaves())
+        assert plan.explored == survivors
+        grid += plan.total
+        explored += plan.explored
+        steps += plan.extension_steps
+    assert grid == sum(p.total for p in pruning_engine.plans(test, "standard"))
+    assert explored < grid / 1000, "the grid must dwarf the explored set"
+    assert steps < grid / 100, "extension steps must not scale with the grid"
+
+
+def test_optimal_counters_under_telemetry():
+    metrics = telemetry.enable()
+    test = get_test("iriw")
+    result = Simulator("power", engine="optimal").run(test)
+    snapshot = metrics.snapshot()
+    counters = snapshot.counters
+    assert counters["herd.runs.optimal"] == 1
+    assert counters["engine.optimal.walks"] >= 1
+    explored = counters["engine.optimal.explored"]
+    total_survivors = 0
+    for plan in optimal_engine.plans(test, "standard"):
+        total_survivors += sum(1 for _ in plan.leaves())
+    assert explored == total_survivors
+    assert counters["engine.optimal.extension_steps"] >= explored
+    # Every revisit accompanies one read-placement extension step.
+    revisits = counters.get("engine.optimal.revisits", 0)
+    assert 0 <= revisits <= counters["engine.optimal.extension_steps"]
+    assert counters.get("engine.optimal.dead_ends", 0) >= 0
+    # The span records the engine that actually ran.
+    spans = [span for span in snapshot.spans if span["name"] == "herd.run"]
+    assert spans and spans[-1]["tags"]["engine"] == "optimal"
+    assert result.verdict in ("Allow", "Forbid")
+
+
+def test_revisits_are_counted_when_reads_defer_to_newer_writes():
+    """A read with two same-value sources must produce exactly one
+    revisit: the consistent execution where it reads the *second* write
+    assigns its rf after the read was already placeable under the
+    first — GenMC's revisit, surfaced by the counter."""
+    from repro.litmus.ast import TestBuilder
+
+    builder = TestBuilder("revisit-probe", arch="power")
+    t0 = builder.thread()
+    t0.store("x", 1)
+    t0.store("x", 1)
+    t1 = builder.thread()
+    register = t1.load("x")
+    builder.exists({(1, register): 1})
+    test = builder.build()
+
+    revisits = 0
+    survivors = 0
+    for plan in optimal_engine.plans(test, "standard"):
+        survivors += sum(1 for _ in plan.leaves())
+        revisits += plan.revisits
+    # Three consistent executions (read init, read first write, read
+    # second write); only the last defers past an available source.
+    assert survivors == 3
+    assert revisits == 1

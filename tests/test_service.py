@@ -141,6 +141,110 @@ def test_concurrent_requests_are_micro_batched():
         assert counters["batches"] < counters["batched_items"]
 
 
+# -- keep-alive ------------------------------------------------------------------
+
+
+def test_keepalive_serves_sequential_requests_on_one_connection():
+    with make_service(processes=None) as handle:
+        client = ServiceClient(*handle.address)
+        for _ in range(3):
+            assert client.verdict(["sb"], deadline=60.0).ok
+        service = client.stats()["service"]
+        # All four requests (three verdicts + the stats probe) rode the
+        # same socket: one TCP handshake, three reuses.
+        assert service["counters"]["connections"] == 1
+        assert service["counters"]["keepalive_reuses"] == 3
+        assert service["open_connections"] == 1
+
+
+def test_keepalive_request_cap_recycles_the_connection():
+    config = ServiceConfig(port=0, keepalive_max_requests=2)
+    with make_service(processes=None, config=config) as handle:
+        client = ServiceClient(*handle.address)
+        for _ in range(4):
+            assert client.healthz()["status"] == "ok"
+        # Requests 1-2 ride connection one (closed at the cap), 3-4 ride
+        # connection two, and the stats probe opens connection three.
+        assert client.stats()["service"]["counters"]["connections"] == 3
+
+
+def test_keepalive_idle_timeout_closes_and_the_client_reconnects():
+    config = ServiceConfig(port=0, keepalive_idle_timeout=0.2)
+    with make_service(processes=None, config=config) as handle:
+        client = ServiceClient(*handle.address)
+        assert client.verdict(["sb"], deadline=60.0).ok
+        time.sleep(0.6)  # the server idles the connection out
+        assert client.verdict(["sb"], deadline=60.0).ok  # transparent retry
+        assert client.stats()["service"]["counters"]["connections"] == 2
+
+
+def test_connection_close_header_is_honored():
+    import http.client as http_client
+
+    with make_service(processes=None) as handle:
+        host, port = handle.address
+        connection = http_client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            connection.request("GET", "/healthz", headers={"Connection": "close"})
+            raw = connection.getresponse()
+            assert raw.status == 200
+            assert raw.getheader("Connection") == "close"
+            raw.read()
+        finally:
+            connection.close()
+        client = ServiceClient(host, port)
+        response = client._request("GET", "/healthz")
+        assert response.headers["connection"] == "keep-alive"
+
+
+# -- admission fairness ----------------------------------------------------------
+
+
+def test_admission_fairness_sheds_only_the_greedy_client():
+    config = ServiceConfig(
+        port=0, max_queue=64, max_inflight_per_client=2, batch_window=0.0
+    )
+    with make_service(processes=None, config=config) as handle:
+        service = handle.service
+        original = service._run_group
+
+        def slow_run_group(group, pooled):
+            time.sleep(1.0)
+            return original(group, pooled)
+
+        service._run_group = slow_run_group
+        greedy = ServiceClient(*handle.address)
+        polite = ServiceClient(*handle.address)
+        first: list = []
+        thread = threading.Thread(
+            target=lambda: first.append(greedy.verdict(["sb", "mp"], deadline=30.0))
+        )
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while service._inflight + len(service._queue) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        # The greedy client is at its quota: its next request is shed
+        # with 429 + Retry-After, naming the per-client cap...
+        shed = greedy.verdict(["lb"], deadline=30.0)
+        assert shed.status == 429
+        assert shed.retry_after is not None and shed.retry_after >= 1
+        assert "per-client cap" in shed.error
+        # ...while a polite client is admitted concurrently.
+        ok = polite.verdict(["lb"], deadline=30.0)
+        assert ok.ok
+        assert ok.results[0]["status"] == "ok"
+
+        thread.join()
+        assert first[0].ok
+        counters = polite.stats()["service"]["counters"]
+        assert counters["shed_per_client"] == 1
+        assert counters["shed"] == 0
+        assert counters["admitted"] == 3
+        # Quota slots are released once items are answered.
+        assert polite.stats()["service"]["clients_inflight"] == {}
+
+
 # -- request validation ----------------------------------------------------------
 
 
@@ -342,6 +446,8 @@ def test_stats_and_healthz_expose_service_and_session_trees():
         session = stats["session"]
         assert "supervisor" in session and "caches" in session
         assert "errors_dropped" in session["supervisor"]
+        # Idle-TTL expiry is attributed all the way up to GET /stats.
+        assert "expirations" in session["caches"]["context"]
 
 
 # -- graceful drain --------------------------------------------------------------

@@ -212,7 +212,9 @@ def test_cache_stats_counts_and_rates():
     stats.miss()
     stats.hit(2)
     stats.evict(3)
+    stats.expire(2)
     assert (stats.hits, stats.misses, stats.evictions) == (3, 1, 3)
+    assert stats.expirations == 2
     assert stats.total == 4
     assert stats.hit_rate == 0.75
     assert stats.as_dict() == {
@@ -221,10 +223,11 @@ def test_cache_stats_counts_and_rates():
         "hits": 3,
         "misses": 1,
         "evictions": 3,
+        "expirations": 2,
         "hit_rate": 0.75,
     }
     stats.reset()
-    assert stats.total == 0 and stats.evictions == 0
+    assert stats.total == 0 and stats.evictions == 0 and stats.expirations == 0
 
 
 def test_cache_stats_mirror_into_the_active_registry():
@@ -277,7 +280,10 @@ def test_context_cache_counters_stay_readable_attributes():
     cache.get(mp)
     cache.get(sb)  # evicts mp
     assert (cache.hits, cache.misses, cache.evictions) == (1, 2, 1)
-    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 2, "evictions": 1}
+    assert cache.expirations == 0  # a capacity eviction is not an expiry
+    assert cache.stats() == {
+        "entries": 1, "hits": 1, "misses": 2, "evictions": 1, "expirations": 0,
+    }
     assert cache.cache_stats().name == "context"
 
 
@@ -294,13 +300,16 @@ def test_session_stats_tree_covers_every_cache():
         session.close()
     # Historical keys keep their exact shapes.
     assert set(stats["model_cache"]) == {"entries", "hits", "misses"}
-    assert set(stats["context_cache"]) == {"entries", "hits", "misses", "evictions"}
+    assert set(stats["context_cache"]) == {
+        "entries", "hits", "misses", "evictions", "expirations",
+    }
     assert set(stats["cycle_cache"]) == {"entries"}
     # The unified subtree reports every cache through one interface.
     caches = stats["caches"]
     for name in ("model", "context", "cycle", "ilp_memo"):
         assert set(caches[name]) == {
-            "name", "entries", "hits", "misses", "evictions", "hit_rate",
+            "name", "entries", "hits", "misses", "evictions", "expirations",
+            "hit_rate",
         }, name
     assert caches["model"]["misses"] >= 1
     assert caches["cycle"]["entries"] >= 1
