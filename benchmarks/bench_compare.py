@@ -1,0 +1,102 @@
+"""The model comparator's paired-context sweep vs a naive two-pass sweep.
+
+Not a paper table: this benchmark gates the economy
+:func:`repro.compare.engine.paired_verdicts` exists for.  A naive
+comparison of two models runs the whole corpus through model A, then
+again through model B — paying the model-independent front half of the
+pipeline (thread paths, event interning, plan skeletons) twice per
+test.  The paired sweep builds one
+:class:`~repro.campaign.context.SimulationContext` per test and hands
+it to both models.
+
+The committed baseline records, per corpus:
+
+* wall-clock of the naive two-pass sweep (two fresh
+  :class:`~repro.herd.Simulator` passes, no shared contexts) vs the
+  paired single-pass sweep (one shared context cache) and the speedup
+  ratio (the headline number — must exceed 1 on every corpus);
+* the identical-verdicts claim: both strategies produce the same
+  (test, verdict-per-model) table, re-asserted in-run;
+* the comparison verdicts themselves (incomparable for tso/power on
+  the fenced corpus, stronger for sc/tso fence-free), so a regression
+  in the *answer* fails the gate before any timing is compared.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.campaign.context import ContextCache
+from repro.compare import CorpusBudget, comparison_corpus, paired_verdicts
+from repro.compare.report import classify
+from repro.herd.simulator import Simulator
+
+CORPORA = (
+    ("tso-power-4ev", ("tso", "power"), CorpusBudget(max_events=4)),
+    ("sc-tso-nofences", ("sc", "tso"), CorpusBudget(max_events=6, fences=False)),
+)
+
+
+def _naive_two_pass(tests, models):
+    """The strawman: one full pass per model, nothing shared."""
+    passes = []
+    for model in models:
+        simulator = Simulator(model)
+        passes.append([simulator.verdict(test) for test in tests])
+    return [
+        (test.name, tuple(per_model[i] for per_model in passes))
+        for i, test in enumerate(tests)
+    ]
+
+
+def _corpus_row(label, models, budget) -> dict:
+    tests = comparison_corpus(budget)
+
+    start = time.perf_counter()
+    naive = _naive_two_pass(tests, models)
+    naive_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    paired = paired_verdicts(tests, models, context_cache=ContextCache())
+    paired_seconds = time.perf_counter() - start
+
+    assert paired == naive, "paired sweep must reproduce the two-pass table"
+    rows = [
+        (name, verdicts[0], verdicts[1], 0, 0) for name, verdicts in paired
+    ]
+    return {
+        "corpus": label,
+        "models": list(models),
+        "tests": len(tests),
+        "verdict": classify(rows),
+        "naive_seconds": naive_seconds,
+        "paired_seconds": paired_seconds,
+        "speedup": naive_seconds / paired_seconds,
+    }
+
+
+def _run_all():
+    # Warm-up pays the one-off costs (architecture construction, diy
+    # generation caches) outside the timed passes.
+    warm = comparison_corpus(CorpusBudget(max_events=4, limit=5))
+    for model in ("sc", "tso", "power"):
+        simulator = Simulator(model)
+        for test in warm:
+            simulator.verdict(test)
+    return [_corpus_row(*spec) for spec in CORPORA]
+
+
+def test_paired_sweep_vs_naive_two_pass(benchmark):
+    rows = run_once(benchmark, _run_all)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]
+    by_label = {row["corpus"]: row for row in rows}
+    assert by_label["tso-power-4ev"]["verdict"] == "incomparable"
+    assert by_label["sc-tso-nofences"]["verdict"] == "stronger"
+    for row in rows:
+        assert row["speedup"] > 1.0, (
+            f"paired contexts must beat the two-pass sweep on {row['corpus']}"
+        )

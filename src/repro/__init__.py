@@ -64,6 +64,11 @@ _EXPORTS = {
     "sweep": "repro.session",
     "analyse": "repro.session",
     "verify": "repro.session",
+    # model comparison (see repro.compare; the verb lives on Session —
+    # a root-level "compare" would shadow the submodule attribute)
+    "compare_models": "repro.compare",
+    "ComparisonReport": "repro.compare",
+    "CorpusBudget": "repro.compare",
     # the uniform result protocol
     "Report": "repro.report",
     # observability (see repro.telemetry)

@@ -98,6 +98,24 @@ class VerdictJob:
 
 
 @dataclass(frozen=True)
+class VerdictPairJob:
+    """Allow/Forbid of one test under *several* models at once.
+
+    The model-comparison driver's unit of work: the front half of the
+    pipeline (paths, event interning, plan skeletons) is model
+    independent, so one :class:`~repro.campaign.context.SimulationContext`
+    serves every model's verdict — a paired sweep pays it once where two
+    independent sweeps pay it twice.  ``models`` are names (workers
+    re-hydrate them); two entries for an A-vs-B comparison, more for
+    ``-violates/-satisfies`` style multi-model filters.
+    """
+
+    test: LitmusTest
+    models: Tuple[str, ...]
+    engine: str = "auto"
+
+
+@dataclass(frozen=True)
 class SimulateJob:
     """One full simulation summary (no candidate objects — those do not
     cross process boundaries; ``Session.simulate`` keeps
@@ -152,6 +170,27 @@ def verdict_chunk(chunk: List[VerdictJob], payload: Any = None) -> List[Tuple[st
         simulator = process_simulator(job.model_name, job.engine)
         verdict = simulator.verdict(job.test, context=cache.get(job.test))
         results.append((job.test.name, verdict))
+    return results
+
+
+def verdict_pair_chunk(
+    chunk: List[VerdictPairJob], payload: Any = None
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Worker: ``(test name, verdict per model)`` for each job.
+
+    One context lookup per job, shared by every model's verdict — the
+    paired-sweep economy the comparison driver is built on.
+    """
+    results = []
+    cache = process_context_cache()
+    for job in chunk:
+        _faults.trip(job.test.name)
+        context = cache.get(job.test)
+        verdicts = tuple(
+            process_simulator(name, job.engine).verdict(job.test, context=context)
+            for name in job.models
+        )
+        results.append((job.test.name, verdicts))
     return results
 
 

@@ -1,0 +1,59 @@
+"""Model comparison: synthesize litmus tests that distinguish two models.
+
+The memalloy-style comparator (ROADMAP: "is model A stronger than B,
+and show me a witness"): sweep a bounded corpus of diy-generated and
+registry tests under two models at once — one shared simulation context
+per test, paired jobs sharded over the campaign runtime — and classify
+the allowed sets into ``stronger`` / ``weaker`` / ``incomparable`` /
+``equivalent-on-corpus`` with a minimal distinguishing witness per
+direction.
+
+::
+
+    from repro.compare import CorpusBudget, compare_models
+
+    report = compare_models("tso", "power", budget=CorpusBudget(max_events=4))
+    print(report.verdict)                  # "incomparable"
+    print(report.witness_a.name)           # "r+syncs" (4 events)
+    assert "sb+syncs" in report.distinguishing
+
+Also available as :meth:`repro.session.Session.compare` (warm pool and
+caches), ``POST /compare`` on the verdict service, and the
+``python -m repro.compare A B`` command line.
+"""
+
+from repro.compare.corpus import (
+    CorpusBudget,
+    comparison_corpus,
+    event_count,
+    size_key,
+    uses_dependencies,
+    uses_fences,
+)
+from repro.compare.engine import (
+    compare_models,
+    find_distinguishing_tests,
+    paired_verdicts,
+)
+from repro.compare.report import (
+    ComparisonReport,
+    Witness,
+    classify,
+    minimal_witness,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "CorpusBudget",
+    "Witness",
+    "classify",
+    "compare_models",
+    "comparison_corpus",
+    "event_count",
+    "find_distinguishing_tests",
+    "minimal_witness",
+    "paired_verdicts",
+    "size_key",
+    "uses_dependencies",
+    "uses_fences",
+]

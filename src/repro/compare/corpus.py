@@ -1,0 +1,210 @@
+"""Bounded search corpora for model comparison.
+
+A comparison between two models is only as strong as the tests it
+sweeps, so the corpus is the comparator's search *budget*: every diy
+critical cycle whose generated test fits under an event-count bound,
+the extended (wrc/iriw) shapes, and optionally the named registry tests
+of the same architecture.  The enumeration mirrors memalloy's
+``-events N`` switch (SNIPPETS.md #3): the claim "A is stronger than B"
+is always relative to the swept corpus, and the *minimal* witness is
+minimal over it.
+
+Tests are deduplicated by canonical diy name (same name == same shape,
+exactly as :func:`repro.diy.families._generate` does) with diy-generated
+tests taking precedence over registry homonyms, and returned sorted by
+:func:`size_key` — fewest events, then fewest threads, then name — so a
+linear scan of the corpus visits smaller candidates first and the first
+distinguishing row *is* the minimal witness.
+
+``fences=False`` drops every cycle with a Fenced edge (and every
+registry test containing a fence instruction): the fence-free corpus is
+where the paper's hierarchy sc >= tso >= power is total — fences such
+as Power's ``sync`` are uninterpreted by the TSO architecture, which
+makes the full corpora incomparable in both directions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.diy.cycles import Cycle
+from repro.diy.families import critical_cycles, extended_family
+from repro.diy.generator import generate_test
+from repro.litmus.ast import LitmusTest
+from repro.litmus.instructions import (
+    Branch,
+    Compare,
+    CompareImmediate,
+    Fence,
+    Load,
+    Store,
+    Xor,
+)
+
+__all__ = [
+    "CorpusBudget",
+    "comparison_corpus",
+    "event_count",
+    "size_key",
+    "uses_dependencies",
+    "uses_fences",
+]
+
+#: Instruction classes that only appear in dependency idioms (false
+#: address/data dependencies are built on xor, control dependencies on
+#: compare-and-branch).
+_DEP_MARKERS = (Xor, Compare, CompareImmediate, Branch)
+
+
+@dataclass(frozen=True)
+class CorpusBudget:
+    """The search budget of one comparison.
+
+    ``max_events`` bounds the memory-access count of every candidate
+    test (memalloy's ``-events``); ``max_threads`` additionally bounds
+    the critical-cycle enumeration (each cycle thread carries two
+    accesses, so threads beyond ``max_events // 2`` never fit anyway);
+    ``fences``/``dependencies`` gate the per-thread mechanism
+    vocabulary; ``include_registry`` adds the named registry tests of
+    the budget's architecture; ``limit`` keeps only the smallest N
+    corpus members after sorting.
+    """
+
+    max_events: int = 6
+    max_threads: int = 3
+    arch: str = "power"
+    fences: bool = True
+    dependencies: bool = True
+    include_registry: bool = True
+    limit: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_events < 4:
+            raise ValueError(
+                f"max_events must be at least 4 (the smallest critical "
+                f"cycle has two 2-access threads), got {self.max_events}"
+            )
+        if self.max_threads < 2:
+            raise ValueError(
+                f"max_threads must be at least 2, got {self.max_threads}"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be positive or None, got {self.limit}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "max_events": self.max_events,
+            "max_threads": self.max_threads,
+            "arch": self.arch,
+            "fences": self.fences,
+            "dependencies": self.dependencies,
+            "include_registry": self.include_registry,
+            "limit": self.limit,
+        }
+
+
+def event_count(test: LitmusTest) -> int:
+    """Memory accesses of a test (loads + stores, all threads)."""
+    return sum(
+        isinstance(instruction, (Load, Store))
+        for thread in test.threads
+        for instruction in thread
+    )
+
+
+def size_key(test: LitmusTest) -> Tuple[int, int, str]:
+    """The corpus order: fewest events, then fewest threads, then name."""
+    return (event_count(test), test.num_threads(), test.name)
+
+
+def uses_fences(test: LitmusTest) -> bool:
+    """Does the test contain any fence instruction?"""
+    return any(
+        isinstance(instruction, Fence)
+        for thread in test.threads
+        for instruction in thread
+    )
+
+
+def uses_dependencies(test: LitmusTest) -> bool:
+    """Does the test contain a dependency idiom (xor / compare+branch)?"""
+    return any(
+        isinstance(instruction, _DEP_MARKERS)
+        for thread in test.threads
+        for instruction in thread
+    )
+
+
+def _cycle_in_budget(cycle: Cycle, budget: CorpusBudget) -> bool:
+    for edge in cycle.edges:
+        if edge.kind == "Fenced" and not budget.fences:
+            return False
+        if edge.kind == "Dp" and not budget.dependencies:
+            return False
+    return True
+
+
+def _test_in_budget(test: LitmusTest, budget: CorpusBudget) -> bool:
+    if event_count(test) > budget.max_events:
+        return False
+    if test.num_threads() > budget.max_threads:
+        return False
+    if not budget.fences and uses_fences(test):
+        return False
+    if not budget.dependencies and uses_dependencies(test):
+        return False
+    return True
+
+
+def _candidates(budget: CorpusBudget) -> Iterator[LitmusTest]:
+    """All in-budget candidates, diy cycles first (they own the
+    canonical names), then the extended shapes, then the registry."""
+    cycle_threads = range(2, min(budget.max_threads, budget.max_events // 2) + 1)
+    for num_threads in cycle_threads:
+        for cycle in critical_cycles(num_threads, budget.arch):
+            if not _cycle_in_budget(cycle, budget):
+                continue
+            test = generate_test(cycle, arch=budget.arch)
+            # The edge-level filter is only a cheap pre-screen: some
+            # mechanisms cross categories at the instruction level (a
+            # ctrl+isync dependency emits a fence), so the generated
+            # test is re-checked against the instruction-level truth.
+            if _test_in_budget(test, budget):
+                yield test
+    for test in extended_family(budget.arch):
+        if _test_in_budget(test, budget):
+            yield test
+    if budget.include_registry:
+        from repro.litmus.registry import all_tests
+
+        for test in all_tests():
+            if test.arch == budget.arch and _test_in_budget(test, budget):
+                yield test
+
+
+def comparison_corpus(budget: Optional[CorpusBudget] = None) -> List[LitmusTest]:
+    """The sorted, deduplicated corpus of one comparison budget."""
+    budget = budget or CorpusBudget()
+    tests: Dict[str, LitmusTest] = {}
+    for test in _candidates(budget):
+        # First occurrence wins: diy tests precede registry homonyms,
+        # so "sb" always means the canonical generated shape.
+        tests.setdefault(test.name, test)
+    ordered = sorted(tests.values(), key=size_key)
+    if budget.limit is not None:
+        ordered = ordered[: budget.limit]
+    return ordered
+
+
+def smaller_members(
+    budget: CorpusBudget, key: Tuple[int, int, str]
+) -> Iterator[LitmusTest]:
+    """Corpus members strictly smaller than *key* (the witness
+    re-checking walk of :func:`repro.compare.engine.compare_models`)."""
+    for test in comparison_corpus(budget):
+        if size_key(test) < key:
+            yield test
+        else:
+            break

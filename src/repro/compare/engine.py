@@ -1,0 +1,271 @@
+"""The comparison driver: paired verdicts, classification, witnesses.
+
+``compare_models(a, b)`` answers "is A stronger than B, and show me a
+minimal witness" the way memalloy's comparator does — sweep a bounded
+corpus of candidate tests under both models and classify the allowed
+sets — with two economies on top:
+
+* **paired contexts** — both models' verdicts of one test share one
+  :class:`~repro.campaign.context.SimulationContext`, so the
+  model-independent front half of the pipeline (thread paths, event
+  interning, plan skeletons) is paid once per test instead of once per
+  (test, model) pair;
+* **campaign sharding** — the paired jobs fan out over the supervised
+  campaign runtime (:class:`~repro.campaign.jobs.VerdictPairJob`) when
+  a pool or worker count is supplied, with exactly the serial results
+  (asserted in the test-suite) and quarantine semantics for poison
+  tests.
+
+Minimality of a witness is certified, not assumed: after the sweep,
+every budget-corpus member strictly smaller than the candidate witness
+that was *not* already swept (possible when the caller supplies its own
+test list) is re-checked serially before the witness is declared
+minimal.
+
+``find_distinguishing_tests(violates=..., satisfies=...)`` is the
+memalloy use-case as a first-class filter: the corpus tests forbidden
+by every ``violates`` model and allowed by every ``satisfies`` model,
+smallest first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compare.corpus import (
+    CorpusBudget,
+    comparison_corpus,
+    event_count,
+    size_key,
+    smaller_members,
+)
+from repro.compare.report import (
+    ComparisonReport,
+    Row,
+    classify,
+    minimal_witness,
+)
+from repro.herd.simulator import ModelLike, Simulator, resolve_model
+from repro.litmus.ast import LitmusTest
+
+__all__ = ["compare_models", "find_distinguishing_tests", "paired_verdicts"]
+
+PairedVerdicts = List[Tuple[str, Tuple[str, ...]]]
+
+
+def model_label(model: ModelLike) -> str:
+    """The display name of a model-like value (the resolved name for
+    strings, exactly as the sweep drivers report it)."""
+    if isinstance(model, str):
+        return getattr(resolve_model(model), "name", model.lower())
+    return getattr(model, "name", str(model))
+
+
+def paired_verdicts(
+    tests: Sequence[LitmusTest],
+    models: Sequence[ModelLike],
+    *,
+    engine: str = "auto",
+    processes=None,
+    pool=None,
+    context_cache=None,
+    chunk_size: int = 8,
+    policy=None,
+    errors: Optional[List] = None,
+) -> PairedVerdicts:
+    """``(test name, verdict per model)`` for every test, in order.
+
+    Shards :class:`~repro.campaign.jobs.VerdictPairJob` chunks over the
+    campaign runtime when every model is a *name* and a pool (or a
+    worker count above one) is available; otherwise runs in-process,
+    still sharing one context per test across all models.  Quarantined
+    tests of a sharded run are dropped from the result and recorded on
+    ``errors``.
+    """
+    from repro.campaign import runner as campaign_runner
+
+    tests = list(tests)
+    models = list(models)
+    sharded = (
+        all(isinstance(model, str) for model in models)
+        and (pool is not None or campaign_runner.worker_count(processes) > 1)
+        and len(tests) > 1
+    )
+    if sharded:
+        from repro.campaign.jobs import VerdictPairJob, verdict_pair_chunk
+
+        jobs = [
+            VerdictPairJob(test, tuple(models), engine) for test in tests
+        ]
+        return list(
+            campaign_runner.run_sharded(
+                verdict_pair_chunk,
+                jobs,
+                processes=processes,
+                chunk_size=chunk_size,
+                pool=pool,
+                policy=policy,
+                errors=errors,
+            )
+        )
+
+    simulators = [Simulator(model, engine=engine) for model in models]
+    results: PairedVerdicts = []
+    for test in tests:
+        context = context_cache.get(test) if context_cache is not None else None
+        results.append(
+            (
+                test.name,
+                tuple(
+                    simulator.verdict(test, context=context)
+                    for simulator in simulators
+                ),
+            )
+        )
+    return results
+
+
+def _build_rows(
+    pairs: PairedVerdicts, by_name: Dict[str, LitmusTest]
+) -> List[Row]:
+    rows: List[Row] = []
+    for name, verdicts in pairs:
+        test = by_name[name]
+        verdict_a, verdict_b = verdicts[0], verdicts[1]
+        rows.append(
+            (name, verdict_a, verdict_b, event_count(test), test.num_threads())
+        )
+    return rows
+
+
+def compare_models(
+    model_a: ModelLike,
+    model_b: ModelLike,
+    *,
+    budget: Optional[CorpusBudget] = None,
+    tests: Optional[Sequence[LitmusTest]] = None,
+    engine: str = "auto",
+    processes=None,
+    pool=None,
+    context_cache=None,
+    chunk_size: int = 8,
+    policy=None,
+    errors: Optional[List] = None,
+) -> ComparisonReport:
+    """Compare two models over a bounded corpus (or explicit tests).
+
+    ``budget`` (default :class:`~repro.compare.corpus.CorpusBudget`)
+    selects the corpus when ``tests`` is not given; when both are
+    given, the budget additionally drives the minimality re-check —
+    smaller budget-corpus members missing from ``tests`` are swept
+    serially before a witness is declared minimal.
+    """
+    if tests is None and budget is None:
+        budget = CorpusBudget()
+    corpus = list(tests) if tests is not None else comparison_corpus(budget)
+    by_name = {test.name: test for test in corpus}
+
+    failed: List = [] if errors is None else errors
+    first_failure = len(failed)
+    pairs = paired_verdicts(
+        corpus,
+        (model_a, model_b),
+        engine=engine,
+        processes=processes,
+        pool=pool,
+        context_cache=context_cache,
+        chunk_size=chunk_size,
+        policy=policy,
+        errors=failed,
+    )
+    rows = _build_rows(pairs, by_name)
+
+    label_a, label_b = model_label(model_a), model_label(model_b)
+    witness_a = minimal_witness(rows, label_a, label_b, "a")
+    witness_b = minimal_witness(rows, label_a, label_b, "b")
+
+    # Minimality re-check: any budget-corpus member strictly smaller
+    # than a candidate witness that the sweep did not cover gets its own
+    # paired verdict (serially, contexts shared) before minimality is
+    # declared.  A no-op when the corpus came from the budget itself.
+    if budget is not None and (witness_a or witness_b):
+        bound = max(
+            (witness.events, witness.threads, witness.name)
+            for witness in (witness_a, witness_b)
+            if witness is not None
+        )
+        missing = [
+            test
+            for test in smaller_members(budget, bound)
+            if test.name not in by_name
+        ]
+        if missing:
+            extra = paired_verdicts(
+                missing,
+                (model_a, model_b),
+                engine=engine,
+                context_cache=context_cache,
+            )
+            by_name.update({test.name: test for test in missing})
+            rows.extend(_build_rows(extra, by_name))
+            rows.sort(key=lambda row: (row[3], row[4], row[0]))
+            witness_a = minimal_witness(rows, label_a, label_b, "a")
+            witness_b = minimal_witness(rows, label_a, label_b, "b")
+
+    return ComparisonReport(
+        model_a=label_a,
+        model_b=label_b,
+        verdict=classify(rows),
+        rows=tuple(rows),
+        witness_a=witness_a,
+        witness_b=witness_b,
+        budget=budget.as_dict() if budget is not None else None,
+        errors=tuple(failed[first_failure:]),
+    )
+
+
+def find_distinguishing_tests(
+    violates: Union[ModelLike, Sequence[ModelLike]] = (),
+    satisfies: Union[ModelLike, Sequence[ModelLike]] = (),
+    *,
+    budget: Optional[CorpusBudget] = None,
+    tests: Optional[Sequence[LitmusTest]] = None,
+    engine: str = "auto",
+    processes=None,
+    pool=None,
+    context_cache=None,
+    chunk_size: int = 8,
+    policy=None,
+    errors: Optional[List] = None,
+) -> List[LitmusTest]:
+    """Corpus tests forbidden by every ``violates`` model and allowed
+    by every ``satisfies`` model, smallest first (memalloy's
+    ``-violates X -satisfies Y``)."""
+    violates = list(violates) if isinstance(violates, (list, tuple)) else [violates]
+    satisfies = list(satisfies) if isinstance(satisfies, (list, tuple)) else [satisfies]
+    if not violates and not satisfies:
+        raise ValueError("pass at least one violates= or satisfies= model")
+    if tests is None and budget is None:
+        budget = CorpusBudget()
+    corpus = list(tests) if tests is not None else comparison_corpus(budget)
+    by_name = {test.name: test for test in corpus}
+
+    pairs = paired_verdicts(
+        corpus,
+        [*violates, *satisfies],
+        engine=engine,
+        processes=processes,
+        pool=pool,
+        context_cache=context_cache,
+        chunk_size=chunk_size,
+        policy=policy,
+        errors=errors,
+    )
+    split = len(violates)
+    matching = [
+        by_name[name]
+        for name, verdicts in pairs
+        if all(verdict == "Forbid" for verdict in verdicts[:split])
+        and all(verdict == "Allow" for verdict in verdicts[split:])
+    ]
+    return sorted(matching, key=size_key)

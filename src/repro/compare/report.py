@@ -1,0 +1,169 @@
+"""The structured result of one model comparison.
+
+Terminology follows the memalloy comparator: model A is **stronger**
+than model B when A forbids every test B forbids *and* forbids at least
+one test B allows — equivalently, allowed(A) is a strict subset of
+allowed(B) over the swept corpus.  A test allowed by one model and
+forbidden by the other is a **distinguishing** test (a witness of one
+direction); the minimal witness of a direction is the smallest such
+test by (events, threads, name).  With witnesses in both directions the
+models are **incomparable**; with none they are **equivalent on the
+corpus** — never "equivalent", because the claim cannot outrun the
+budget that was swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.report import JsonReportMixin
+
+__all__ = ["ComparisonReport", "Row", "Witness", "classify", "minimal_witness"]
+
+#: One swept test: (name, verdict under A, verdict under B, events, threads).
+Row = Tuple[str, str, str, int, int]
+
+STRONGER = "stronger"
+WEAKER = "weaker"
+INCOMPARABLE = "incomparable"
+EQUIVALENT = "equivalent-on-corpus"
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A minimal distinguishing test of one direction."""
+
+    name: str
+    events: int
+    threads: int
+    #: the verdict of the model that *allows* this witness, and of the
+    #: model that forbids it, keyed by model name.
+    verdicts: Tuple[Tuple[str, str], ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "test": self.name,
+            "events": self.events,
+            "threads": self.threads,
+            "verdicts": {model: verdict for model, verdict in self.verdicts},
+        }
+
+
+def _distinguishers(rows: Sequence[Row]) -> Tuple[List[Row], List[Row]]:
+    """Rows allowed only by A, and rows allowed only by B."""
+    allowed_a_only = [r for r in rows if r[1] == "Allow" and r[2] == "Forbid"]
+    allowed_b_only = [r for r in rows if r[2] == "Allow" and r[1] == "Forbid"]
+    return allowed_a_only, allowed_b_only
+
+
+def classify(rows: Sequence[Row]) -> str:
+    """The comparison verdict of a full paired-verdict table."""
+    allowed_a_only, allowed_b_only = _distinguishers(rows)
+    if allowed_a_only and allowed_b_only:
+        return INCOMPARABLE
+    if allowed_b_only:
+        # B allows tests A forbids, and never the converse: A stronger.
+        return STRONGER
+    if allowed_a_only:
+        return WEAKER
+    return EQUIVALENT
+
+
+def minimal_witness(
+    rows: Sequence[Row], model_a: str, model_b: str, direction: str = "a"
+) -> Optional[Witness]:
+    """The smallest row allowed only by A (``direction="a"``) or only
+    by B (``direction="b"``); rows are assumed corpus-sorted."""
+    allowed_a_only, allowed_b_only = _distinguishers(rows)
+    pool = allowed_a_only if direction == "a" else allowed_b_only
+    if not pool:
+        return None
+    name, verdict_a, verdict_b, events, threads = min(
+        pool, key=lambda row: (row[3], row[4], row[0])
+    )
+    return Witness(
+        name=name,
+        events=events,
+        threads=threads,
+        verdicts=((model_a, verdict_a), (model_b, verdict_b)),
+    )
+
+
+@dataclass
+class ComparisonReport(JsonReportMixin):
+    """Everything one comparison established, on the Report protocol."""
+
+    model_a: str
+    model_b: str
+    #: the comparison verdict: "stronger" / "weaker" (of A relative to
+    #: B), "incomparable", or "equivalent-on-corpus".
+    verdict: str
+    #: per swept test, in corpus (size) order.
+    rows: Tuple[Row, ...]
+    #: minimal test allowed by A and forbidden by B (None if A's
+    #: allowed set is contained in B's over the corpus).
+    witness_a: Optional[Witness] = None
+    #: minimal test allowed by B and forbidden by A.
+    witness_b: Optional[Witness] = None
+    #: the search budget swept (None when the caller supplied tests).
+    budget: Optional[Dict[str, Any]] = None
+    #: quarantined tests of a sharded comparison.
+    errors: Tuple = field(default=())
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.rows)
+
+    @property
+    def distinguishing(self) -> Tuple[str, ...]:
+        """Names of every test the two models disagree on."""
+        return tuple(row[0] for row in self.rows if row[1] != row[2])
+
+    @property
+    def equivalent(self) -> bool:
+        return self.verdict == EQUIVALENT
+
+    def verdicts_of(self, name: str) -> Tuple[str, str]:
+        for row in self.rows:
+            if row[0] == name:
+                return row[1], row[2]
+        raise KeyError(f"no test named {name!r} in this comparison")
+
+    def _describe_witness(self, witness: Witness, allowing: str, forbidding: str) -> str:
+        return (
+            f"{allowing} allows {witness.name} ({witness.events} events, "
+            f"{witness.threads} threads) where {forbidding} forbids it"
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.model_a} vs {self.model_b} on {self.num_tests} tests: "
+            f"{self.verdict} ({len(self.distinguishing)} distinguishing)"
+        ]
+        if self.witness_a is not None:
+            lines.append(
+                "  " + self._describe_witness(self.witness_a, self.model_a, self.model_b)
+            )
+        if self.witness_b is not None:
+            lines.append(
+                "  " + self._describe_witness(self.witness_b, self.model_b, self.model_a)
+            )
+        if self.errors:
+            lines.append(f"  {len(self.errors)} tests quarantined")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "model-comparison",
+            "model_a": self.model_a,
+            "model_b": self.model_b,
+            "verdict": self.verdict,
+            "num_tests": self.num_tests,
+            "distinguishing": list(self.distinguishing),
+            "witness_a": self.witness_a.to_dict() if self.witness_a else None,
+            "witness_b": self.witness_b.to_dict() if self.witness_b else None,
+            "budget": dict(self.budget) if self.budget is not None else None,
+            "errors": [error.to_dict() for error in self.errors],
+            "rows": [list(row) for row in self.rows],
+        }

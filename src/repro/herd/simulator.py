@@ -61,12 +61,57 @@ from repro.herd import engine as _engine
 from repro.herd import optimal as _optimal
 from repro.herd.enumerate import Candidate, candidate_executions
 from repro.litmus.ast import LitmusTest
+from repro.litmus.instructions import MoveImmediate, Store
 from repro.report import JsonReportMixin, outcome_key
 
 Outcome = Tuple[Tuple[str, int], ...]
 ModelLike = Union[str, Architecture, Model]
 
 ENGINES = ("auto", "pruning", "optimal", "naive")
+
+#: ``engine="auto"`` upgrades from pruning to the optimal engine once
+#: this many stores hit a single location across all threads.  The
+#: pruning engine's candidate space grows factorially in the per-
+#: location write count (every coherence order is enumerated before
+#: SC-PER-LOCATION cuts it), while the optimal engine constructs each
+#: consistent coherence order exactly once — the committed
+#: BENCH_optimal.json crossover puts optimal ahead from roughly this
+#: burst size and 5.9x ahead by six writes.  Below the threshold the
+#: pruning engine's lower per-execution constant wins (tiny grids such
+#: as the classic 2x2 cycles).
+AUTO_OPTIMAL_WRITE_BURST = 4
+
+
+def write_burst(test: LitmusTest) -> int:
+    """The largest number of stores aimed at any single location,
+    summed across threads — the coherence pressure of a test.
+
+    Store targets resolve through the test's address registers — the
+    ``init_registers`` bindings (``(thread, reg) -> location``) plus any
+    in-thread ``MoveImmediate`` of a location name.  A store whose
+    address register resolves to no location (computed addresses) makes
+    the scan conservative: 0, keeping ``auto`` on the pruning engine.
+    """
+    stores_per_location: dict = {}
+    for index, thread in enumerate(test.threads):
+        addresses = {
+            reg: value
+            for (thread_index, reg), value in test.init_registers.items()
+            if thread_index == index and isinstance(value, str)
+        }
+        for instruction in thread:
+            if isinstance(instruction, MoveImmediate) and isinstance(
+                instruction.value, str
+            ):
+                addresses[instruction.dst] = instruction.value
+            elif isinstance(instruction, Store):
+                location = addresses.get(instruction.addr_reg)
+                if location is None:
+                    return 0
+                stores_per_location[location] = (
+                    stores_per_location.get(location, 0) + 1
+                )
+    return max(stores_per_location.values(), default=0)
 
 
 def resolve_model(model: ModelLike) -> Model:
@@ -155,9 +200,10 @@ class Simulator:
     cuts on SC PER LOCATION violations), ``"optimal"`` (GenMC-style
     construction of each consistent execution exactly once),
     ``"naive"`` (the reference cross product) or ``"auto"`` (pruning
-    whenever the query and the model allow it).  ``"optimal"`` and
-    ``"pruning"`` fall back to ``"naive"`` for queries only the oracle
-    serves (``keep_candidates``, duck-typed models).
+    whenever the query and the model allow it, upgraded to optimal for
+    coherence-heavy tests — see :func:`write_burst`).  ``"optimal"``
+    and ``"pruning"`` fall back to ``"naive"`` for queries only the
+    oracle serves (``keep_candidates``, duck-typed models).
     """
 
     def __init__(self, model: ModelLike, engine: str = "auto"):
@@ -197,7 +243,16 @@ class Simulator:
         planned = not keep_candidates and variant is not None
         if planned and self.engine == "optimal":
             engine_name = "optimal"
-        elif planned and self.engine in ("auto", "pruning"):
+        elif planned and self.engine == "auto":
+            # Route coherence-heavy shapes (same-location write bursts)
+            # to the optimal engine; keep pruning on tiny grids, where
+            # its lower constant wins (see AUTO_OPTIMAL_WRITE_BURST).
+            engine_name = (
+                "optimal"
+                if write_burst(test) >= AUTO_OPTIMAL_WRITE_BURST
+                else "pruning"
+            )
+        elif planned and self.engine == "pruning":
             engine_name = "pruning"
         else:
             engine_name = "naive"

@@ -88,9 +88,9 @@ class _Item:
     __slots__ = ("kind", "test", "model", "strategy", "deadline", "future")
 
     def __init__(self, kind, test, model, strategy, deadline, future):
-        self.kind = kind  # "verdict" | "repair"
+        self.kind = kind  # "verdict" | "repair" | "compare"
         self.test = test
-        self.model = model
+        self.model = model  # a name, or a pair of names for "compare"
         self.strategy = strategy  # None for verdicts — batches group on it
         self.deadline = deadline  # absolute time.monotonic()
         self.future = future
@@ -114,8 +114,21 @@ class VerdictService:
     * ``POST /repair`` — same body plus optional ``strategy``
       (``greedy``/``ilp``); ``ok`` lines carry the full repair
       ``report``.
+    * ``POST /compare`` — body ``{"models": ["tso", "power"],
+      "budget": {"events": 4, ...}, "deadline": 10.0}``; the server
+      builds the corpus (event bound clamped to
+      ``compare_max_events``, size clamped to ``compare_max_tests``)
+      and streams one ``{"test", "status", "verdicts": {model:
+      verdict}}`` line per test followed by a final ``{"summary":
+      true, "verdict", "witness_a", "witness_b", ...}`` line.
     * ``GET /stats`` — ``{"service": ..., "session": Session.stats()}``.
     * ``GET /healthz`` — liveness plus drain/breaker state.
+
+    Verdicts memoize across requests: an admitted test whose
+    ``(fingerprint, model, engine)`` verdict is already cached answers
+    from the cache (``"mode": "cache"``) without ever enqueueing, and
+    every ``ok`` verdict — including each half of a comparison pair —
+    populates the cache for later requests.
     """
 
     def __init__(
@@ -155,6 +168,20 @@ class VerdictService:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="verdict-service"
         )
+        self._verdict_cache = None
+        self._verdict_cache_stats = None
+        if self.config.verdict_cache_size > 0:
+            from repro.telemetry import CacheStats
+            from repro.util.caches import BoundedTTLCache
+
+            self._verdict_cache_stats = CacheStats(
+                "service.verdicts", entries=lambda: len(self._verdict_cache)
+            )
+            self._verdict_cache = BoundedTTLCache(
+                max_entries=self.config.verdict_cache_size,
+                ttl=self.config.verdict_cache_ttl,
+                stats=self._verdict_cache_stats,
+            )
         self._signal_seen = self._supervisor_signal()
         self.address: Optional[Tuple[str, int]] = None
 
@@ -274,6 +301,60 @@ class VerdictService:
         _telemetry.observe("service.drain_seconds", elapsed)
         _telemetry.set_gauge("service.up", 0)
 
+    # -- verdict memoization ------------------------------------------------------
+
+    def _memo_key(self, test: LitmusTest, model: str):
+        from repro.campaign.context import test_fingerprint
+
+        return (test_fingerprint(test), model, self.session.engine)
+
+    def _cached_outcome(
+        self, kind: str, test: LitmusTest, model
+    ) -> Optional[Dict[str, Any]]:
+        """A ready-made ``ok`` outcome for *test* when the verdict cache
+        already knows it — both models' verdicts for a comparison pair.
+        Repairs never memoize (reports are strategy-bound)."""
+        cache = self._verdict_cache
+        if cache is None or kind == "repair":
+            return None
+        stats = self._verdict_cache_stats
+        if kind == "verdict":
+            verdict = cache.get(self._memo_key(test, model))
+            if verdict is None:
+                stats.miss()
+                return None
+            stats.hit()
+            return {
+                "test": test.name,
+                "status": "ok",
+                "mode": "cache",
+                "verdict": verdict,
+            }
+        verdicts = {}
+        for name in model:
+            verdict = cache.get(self._memo_key(test, name))
+            if verdict is None:
+                stats.miss()
+                return None
+            verdicts[name] = verdict
+        stats.hit()
+        return {
+            "test": test.name,
+            "status": "ok",
+            "mode": "cache",
+            "verdicts": verdicts,
+        }
+
+    def _memoize(self, item: _Item, outcome: Dict[str, Any]) -> None:
+        cache = self._verdict_cache
+        if cache is None or outcome.get("status") != "ok":
+            return
+        if item.kind == "verdict":
+            cache[self._memo_key(item.test, item.model)] = outcome["verdict"]
+        elif item.kind == "compare":
+            for name, verdict in outcome["verdicts"].items():
+                cache[self._memo_key(item.test, name)] = verdict
+
     # -- admission ----------------------------------------------------------------
 
     def _retry_after_headers(self) -> Dict[str, str]:
@@ -293,11 +374,17 @@ class VerdictService:
             raise HttpError(
                 503, "service is draining", self._retry_after_headers()
             )
+        # Memoized verdicts answer from the cache without ever entering
+        # the queue, so only the misses compete for admission capacity.
+        cached = [self._cached_outcome(kind, test, model) for test in tests]
+        miss_count = sum(1 for outcome in cached if outcome is None)
         # Per-client fairness first: a greedy client is told it (and
         # only it) is over quota even while the global queue has room.
-        if client is not None:
+        # Comparison corpora are exempt — the *server* chooses that
+        # fan-out (clamped by compare_max_tests), not the client.
+        if client is not None and kind != "compare":
             held = self._client_inflight.get(client, 0)
-            if held + len(tests) > self.config.max_inflight_per_client:
+            if held + miss_count > self.config.max_inflight_per_client:
                 self._count("shed_per_client", len(tests))
                 raise HttpError(
                     429,
@@ -306,7 +393,7 @@ class VerdictService:
                     self._retry_after_headers(),
                 )
         depth = len(self._queue) + self._inflight
-        if depth + len(tests) > self.config.max_queue:
+        if depth + miss_count > self.config.max_queue:
             self._count("shed", len(tests))
             raise HttpError(
                 429,
@@ -316,22 +403,27 @@ class VerdictService:
             )
         loop = asyncio.get_running_loop()
         deadline = time.monotonic() + budget
-        items = [
-            _Item(kind, test, model, strategy, deadline, loop.create_future())
-            for test in tests
-        ]
-        if client is not None:
+        items = []
+        misses = []
+        for test, outcome in zip(tests, cached):
+            item = _Item(kind, test, model, strategy, deadline, loop.create_future())
+            items.append(item)
+            if outcome is not None:
+                item.future.set_result(outcome)
+            else:
+                misses.append(item)
+        if client is not None and kind != "compare" and misses:
             self._client_inflight[client] = (
-                self._client_inflight.get(client, 0) + len(items)
+                self._client_inflight.get(client, 0) + len(misses)
             )
-            for item in items:
+            for item in misses:
                 item.future.add_done_callback(
                     lambda _future, c=client: self._client_done(c)
                 )
-        self._queue.extend(items)
-        self._count("admitted", len(items))
+        self._queue.extend(misses)
+        self._count("admitted", len(misses))
         _telemetry.set_gauge("service.queue_depth", len(self._queue) + self._inflight)
-        if self._wake is not None:
+        if self._wake is not None and misses:
             self._wake.set()
         return items
 
@@ -431,6 +523,7 @@ class VerdictService:
                 self.breaker.record_incidents(incidents)
 
             for item, outcome in zip(group, outcomes):
+                self._memoize(item, outcome)
                 self._resolve(item, outcome)
             self._inflight -= len(group)
             _telemetry.set_gauge(
@@ -476,6 +569,34 @@ class VerdictService:
                     "status": "ok",
                     "mode": "pooled",
                     "report": report.to_dict(),
+                }
+
+        elif head.kind == "compare":
+            from repro.campaign import runner as campaign_runner
+            from repro.campaign.jobs import VerdictPairJob, verdict_pair_chunk
+
+            survivors = list(
+                campaign_runner.run_sharded(
+                    verdict_pair_chunk,
+                    [
+                        VerdictPairJob(test, head.model, session.engine)
+                        for test in tests
+                    ],
+                    pool=session.pool(),
+                    policy=policy,
+                    errors=errors,
+                )
+            )
+
+            def name_of(pair) -> str:
+                return pair[0]
+
+            def render(pair) -> Dict[str, Any]:
+                return {
+                    "test": pair[0],
+                    "status": "ok",
+                    "mode": "pooled",
+                    "verdicts": dict(zip(head.model, pair[1])),
                 }
 
         else:
@@ -587,6 +708,19 @@ class VerdictService:
                             "status": "ok",
                             "mode": "serial",
                             "report": report.to_dict(),
+                        }
+                    )
+                elif item.kind == "compare":
+                    verdicts = {
+                        model: self.session.verdict(item.test, model=model)
+                        for model in item.model
+                    }
+                    outcomes.append(
+                        {
+                            "test": name,
+                            "status": "ok",
+                            "mode": "serial",
+                            "verdicts": verdicts,
                         }
                     )
                 else:
@@ -734,28 +868,71 @@ class VerdictService:
             items = self._admit(kind, tests, model, strategy, budget, client)
             await streaming.start(200, keep_alive=keep_alive)
             for item in items:
-                remaining = item.deadline - time.monotonic()
-                try:
-                    # shield(): wait_for must not cancel the shared
-                    # future on timeout — the batch may still resolve it
-                    # for the record.  The extra second covers batcher
-                    # scheduling of an expiry that lands exactly on the
-                    # deadline.
-                    outcome = await asyncio.wait_for(
-                        asyncio.shield(item.future),
-                        timeout=max(remaining, 0.0) + 1.0,
-                    )
-                except asyncio.TimeoutError:
-                    outcome = {
-                        "test": item.test.name,
-                        "status": "timeout",
-                        "error": "deadline expired before a result was produced",
-                    }
+                outcome = await self._await_item(item)
                 await streaming.write_line(outcome)
                 self._count("responses")
             await streaming.finish()
             return
+        if path == "/compare":
+            if method != "POST":
+                raise HttpError(405, "use POST /compare")
+            self._count("requests")
+            models, budget, limit, deadline = self._parse_compare(request)
+            corpus, truncated = await asyncio.get_running_loop().run_in_executor(
+                None, self._compare_corpus, budget, limit
+            )
+            peername = writer.get_extra_info("peername")
+            client = request.headers.get("x-client-id") or (
+                peername[0] if isinstance(peername, tuple) else None
+            )
+            items = self._admit("compare", corpus, models, None, deadline, client)
+            await streaming.start(200, keep_alive=keep_alive)
+            from repro.compare.corpus import event_count
+
+            rows = []
+            for item in items:
+                outcome = await self._await_item(item)
+                await streaming.write_line(outcome)
+                self._count("responses")
+                if outcome.get("status") == "ok":
+                    verdicts = outcome["verdicts"]
+                    rows.append(
+                        (
+                            item.test.name,
+                            verdicts[models[0]],
+                            verdicts[models[1]],
+                            event_count(item.test),
+                            item.test.num_threads(),
+                        )
+                    )
+            await streaming.write_line(
+                self._compare_summary(
+                    models, rows, budget, limit, len(items), truncated
+                )
+            )
+            self._count("responses")
+            await streaming.finish()
+            return
         raise HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    async def _await_item(item: _Item) -> Dict[str, Any]:
+        remaining = item.deadline - time.monotonic()
+        try:
+            # shield(): wait_for must not cancel the shared future on
+            # timeout — the batch may still resolve it for the record.
+            # The extra second covers batcher scheduling of an expiry
+            # that lands exactly on the deadline.
+            return await asyncio.wait_for(
+                asyncio.shield(item.future),
+                timeout=max(remaining, 0.0) + 1.0,
+            )
+        except asyncio.TimeoutError:
+            return {
+                "test": item.test.name,
+                "status": "timeout",
+                "error": "deadline expired before a result was produced",
+            }
 
     def _parse_submission(
         self, request: Request, kind: str
@@ -787,15 +964,110 @@ class VerdictService:
         if strategy is not None and strategy not in ("greedy", "ilp"):
             raise HttpError(400, f'"strategy" must be "greedy" or "ilp", got {strategy!r}')
 
+        budget = self._parse_deadline(payload)
+
+        tests = [self._resolve_test(spec) for spec in specs]
+        return tests, model.lower(), strategy, budget
+
+    def _parse_deadline(self, payload: Dict[str, Any]) -> float:
         budget = payload.get("deadline", self.config.default_deadline)
         if isinstance(budget, bool) or not isinstance(budget, (int, float)):
             raise HttpError(400, '"deadline" must be a number of seconds')
         if not budget > 0:  # also rejects NaN
             raise HttpError(400, f'"deadline" must be positive, got {budget}')
-        budget = min(float(budget), self.config.max_deadline)
+        return min(float(budget), self.config.max_deadline)
 
-        tests = [self._resolve_test(spec) for spec in specs]
-        return tests, model.lower(), strategy, budget
+    def _resolve_model_name(self, model: Any) -> str:
+        if not isinstance(model, str):
+            raise HttpError(400, f"model must be a name string, got {model!r}")
+        try:
+            self.session.resolve(model)
+        except Exception as exc:
+            raise HttpError(400, f"unknown model {model!r}: {exc}") from None
+        return model.lower()
+
+    def _parse_compare(self, request: Request):
+        """``POST /compare`` body: ``(models, budget, limit, deadline)``."""
+        from repro.compare.corpus import CorpusBudget
+
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        models = payload.get("models")
+        if not isinstance(models, list) or len(models) != 2:
+            raise HttpError(400, 'provide "models": [A, B], two model names')
+        models = tuple(self._resolve_model_name(model) for model in models)
+
+        spec = payload.get("budget", {})
+        if not isinstance(spec, dict):
+            raise HttpError(400, '"budget" must be a JSON object')
+        allowed = {
+            "events",
+            "threads",
+            "arch",
+            "fences",
+            "dependencies",
+            "registry",
+            "limit",
+        }
+        unknown = set(spec) - allowed
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown budget keys {sorted(unknown)}; allowed: {sorted(allowed)}",
+            )
+        events = spec.get("events", 4)
+        try:
+            budget = CorpusBudget(
+                max_events=min(int(events), self.config.compare_max_events),
+                max_threads=int(spec.get("threads", 3)),
+                arch=spec.get("arch", "power"),
+                fences=bool(spec.get("fences", True)),
+                dependencies=bool(spec.get("dependencies", True)),
+                include_registry=bool(spec.get("registry", True)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad comparison budget: {exc}") from None
+
+        limit = spec.get("limit")
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+                raise HttpError(400, f'"limit" must be a positive integer, got {limit!r}')
+        limit = min(limit or self.config.compare_max_tests, self.config.compare_max_tests)
+
+        return models, budget, limit, self._parse_deadline(payload)
+
+    @staticmethod
+    def _compare_corpus(budget, limit: int):
+        """Build the comparison corpus off-loop; returns ``(tests,
+        truncated)`` with the *limit* smallest tests kept (the corpus is
+        size-sorted, so the slice preserves witness minimality)."""
+        from repro.compare.corpus import comparison_corpus
+
+        corpus = comparison_corpus(budget)
+        return corpus[:limit], len(corpus) > limit
+
+    @staticmethod
+    def _compare_summary(
+        models, rows, budget, limit: int, num_tests: int, truncated: bool
+    ) -> Dict[str, Any]:
+        from repro.compare.report import classify, minimal_witness
+
+        witness_a = minimal_witness(rows, models[0], models[1], "a")
+        witness_b = minimal_witness(rows, models[0], models[1], "b")
+        return {
+            "summary": True,
+            "model_a": models[0],
+            "model_b": models[1],
+            "verdict": classify(rows),
+            "num_tests": num_tests,
+            "answered": len(rows),
+            "distinguishing": [row[0] for row in rows if row[1] != row[2]],
+            "witness_a": witness_a.to_dict() if witness_a else None,
+            "witness_b": witness_b.to_dict() if witness_b else None,
+            "truncated": truncated,
+            "budget": {**budget.as_dict(), "limit": limit},
+        }
 
     @staticmethod
     def _resolve_test(spec: Any) -> LitmusTest:
@@ -831,6 +1103,11 @@ class VerdictService:
                 "open_connections": len(self._connections),
                 "draining": self._draining,
                 "breaker": self.breaker.as_dict(),
+                "verdict_cache": (
+                    self._verdict_cache_stats.as_dict()
+                    if self._verdict_cache_stats is not None
+                    else None
+                ),
                 "config": self.config.as_dict(),
             },
             "session": self.session.stats(),

@@ -49,6 +49,15 @@ class ServiceResponse:
             return None
 
     @property
+    def summary(self) -> Optional[Dict[str, Any]]:
+        """The trailing ``{"summary": true, ...}`` line of a
+        ``/compare`` response, if any."""
+        for line in reversed(self.results):
+            if isinstance(line, dict) and line.get("summary"):
+                return line
+        return None
+
+    @property
     def error(self) -> Optional[str]:
         """The error detail of a non-200 response."""
         if self.ok or not self.results:
@@ -127,6 +136,28 @@ class ServiceClient:
         """``POST /repair``; returns the full response, lines collected."""
         return self._submit(
             "/repair", tests, model=model, deadline=deadline, strategy=strategy
+        )
+
+    def compare(
+        self,
+        model_a: str,
+        model_b: str,
+        deadline: Optional[float] = None,
+        **budget: Any,
+    ) -> ServiceResponse:
+        """``POST /compare``: sweep a server-built corpus under both
+        models.  ``budget`` keys (``events``, ``threads``, ``arch``,
+        ``fences``, ``dependencies``, ``registry``, ``limit``) bound the
+        corpus; the response streams one line per test and ends with a
+        ``{"summary": true, ...}`` line carrying the comparison verdict
+        and the minimal witness of each direction."""
+        payload: Dict[str, Any] = {"models": [model_a, model_b]}
+        if budget:
+            payload["budget"] = budget
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self._request(
+            "POST", "/compare", body=json.dumps(payload).encode("utf-8")
         )
 
     def stats(self) -> Dict[str, Any]:

@@ -28,6 +28,15 @@ class ServiceConfig:
     most ``batch_window`` seconds for stragglers to arrive.  Deadlines:
     a request may carry ``{"deadline": seconds}``; absent one it gets
     ``default_deadline``, and either is clamped to ``max_deadline``.
+    Memoization: verdicts (never repairs — reports are strategy-bound)
+    are cached across requests keyed by the test's structural
+    fingerprint, the model and the engine, in an LRU of
+    ``verdict_cache_size`` entries with an idle TTL of
+    ``verdict_cache_ttl`` seconds; ``verdict_cache_size=0`` disables
+    the cache.  Comparison: ``POST /compare`` sweeps a server-built
+    corpus whose event bound is clamped to ``compare_max_events`` and
+    whose size is clamped to the ``compare_max_tests`` smallest tests
+    (the summary line flags the truncation).
     Degradation: the circuit breaker trips open after
     ``breaker_threshold`` supervisor incidents (worker deaths, chunk
     timeouts, quarantines) within ``breaker_window`` seconds, serves
@@ -54,6 +63,10 @@ class ServiceConfig:
     breaker_threshold: int = 4
     breaker_window: float = 30.0
     breaker_probe_interval: float = 5.0
+    verdict_cache_size: int = 4096
+    verdict_cache_ttl: float = 3600.0
+    compare_max_events: int = 6
+    compare_max_tests: int = 160
 
     def __post_init__(self):
         positive = (
@@ -70,6 +83,8 @@ class ServiceConfig:
             "breaker_threshold",
             "breaker_window",
             "breaker_probe_interval",
+            "verdict_cache_ttl",
+            "compare_max_tests",
         )
         for name in positive:
             if getattr(self, name) <= 0:
@@ -79,6 +94,16 @@ class ServiceConfig:
                 raise ValueError(
                     f"{name} must be >= 0, got {getattr(self, name)}"
                 )
+        if self.verdict_cache_size < 0:
+            raise ValueError(
+                f"verdict_cache_size must be >= 0 (0 disables), got "
+                f"{self.verdict_cache_size}"
+            )
+        if self.compare_max_events < 4:
+            raise ValueError(
+                f"compare_max_events must be >= 4 (the smallest critical "
+                f"cycle), got {self.compare_max_events}"
+            )
         if self.default_deadline > self.max_deadline:
             raise ValueError(
                 f"default_deadline ({self.default_deadline}) exceeds "
@@ -104,4 +129,8 @@ class ServiceConfig:
             "breaker_threshold": self.breaker_threshold,
             "breaker_window": self.breaker_window,
             "breaker_probe_interval": self.breaker_probe_interval,
+            "verdict_cache_size": self.verdict_cache_size,
+            "verdict_cache_ttl": self.verdict_cache_ttl,
+            "compare_max_events": self.compare_max_events,
+            "compare_max_tests": self.compare_max_tests,
         }

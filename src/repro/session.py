@@ -76,6 +76,7 @@ from repro.litmus.ast import LitmusTest
 
 __all__ = [
     "Session",
+    "compare",
     "default_session",
     "simulate",
     "verdict",
@@ -509,6 +510,48 @@ class Session:
             errors=self._fresh_errors(),
         )
 
+    def compare(
+        self,
+        model_a: ModelLike,
+        model_b: Optional[ModelLike] = None,
+        *,
+        budget=None,
+        tests: Optional[Sequence[LitmusTest]] = None,
+        engine: Optional[str] = None,
+    ):
+        """Compare two models over a bounded corpus: a
+        :class:`~repro.compare.report.ComparisonReport` with the
+        stronger/weaker/incomparable/equivalent-on-corpus verdict and a
+        minimal distinguishing witness per direction.
+
+        ``model_b`` defaults to the session model; ``budget`` (a
+        :class:`~repro.compare.corpus.CorpusBudget`) or ``tests``
+        selects the corpus.  Paired verdicts shard over the session's
+        warm pool when both models are names; either way both models'
+        verdicts of one test share a single cached simulation context.
+        """
+        from repro.compare.engine import compare_models
+
+        model_b = self.model if model_b is None else model_b
+        pool = None
+        if (
+            isinstance(model_a, str)
+            and isinstance(model_b, str)
+            and self.workers > 1
+        ):
+            pool = self.pool()
+        return compare_models(
+            model_a,
+            model_b,
+            budget=budget,
+            tests=tests,
+            engine=self.engine if engine is None else engine,
+            processes=self.processes,
+            pool=pool,
+            context_cache=self.context_cache,
+            errors=self._fresh_errors(),
+        )
+
     def repair(
         self,
         tests: Union[LitmusTest, Sequence[LitmusTest]],
@@ -727,6 +770,13 @@ def simulate(tests, model=None, engine=None, **kwargs):
 def verdict(tests, model=None, engine=None):
     """:meth:`Session.verdict` on the default session."""
     return default_session().verdict(tests, model=model, engine=engine)
+
+
+def compare(model_a, model_b=None, *, budget=None, tests=None, engine=None):
+    """:meth:`Session.compare` on the default session."""
+    return default_session().compare(
+        model_a, model_b, budget=budget, tests=tests, engine=engine
+    )
 
 
 def repair(tests, model=None, strategy=None):

@@ -20,7 +20,9 @@ import pytest
 ROOT_API = [
     "CacheStats",
     "CampaignPool",
+    "ComparisonReport",
     "ContextCache",
+    "CorpusBudget",
     "LitmusTest",
     "Metrics",
     "MetricsSnapshot",
@@ -32,6 +34,7 @@ ROOT_API = [
     "__version__",
     "all_tests",
     "analyse",
+    "compare_models",
     "default_session",
     "get_test",
     "load_builtin_model",
@@ -60,6 +63,21 @@ SUBPACKAGE_API = {
         "run_sharded",
         "test_fingerprint",
         "worker_count",
+    ],
+    "repro.compare": [
+        "ComparisonReport",
+        "CorpusBudget",
+        "Witness",
+        "classify",
+        "compare_models",
+        "comparison_corpus",
+        "event_count",
+        "find_distinguishing_tests",
+        "minimal_witness",
+        "paired_verdicts",
+        "size_key",
+        "uses_dependencies",
+        "uses_fences",
     ],
     "repro.cat": [
         "CatModel",
@@ -177,6 +195,7 @@ SUBPACKAGE_API = {
     "repro.session": [
         "Session",
         "analyse",
+        "compare",
         "default_session",
         "observe",
         "repair",

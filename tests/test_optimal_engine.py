@@ -266,3 +266,56 @@ def test_revisits_are_counted_when_reads_defer_to_newer_writes():
     # second write); only the last defers past an available source.
     assert survivors == 3
     assert revisits == 1
+
+
+# -- the auto-engine heuristic ------------------------------------------------------
+
+
+def test_auto_routes_coherence_bursts_to_optimal():
+    """``engine="auto"`` keeps the pruning engine on tiny grids and
+    upgrades to optimal once a same-location write burst crosses the
+    committed benchmark crossover — observable per-run through the
+    ``herd.runs.*`` counters."""
+    from repro.herd.simulator import AUTO_OPTIMAL_WRITE_BURST, write_burst
+
+    small = get_test("sb")
+    [stress] = coherence_stress_family("power", threads=2, writes_per_location=5)
+    assert write_burst(small) < AUTO_OPTIMAL_WRITE_BURST
+    assert write_burst(stress) >= AUTO_OPTIMAL_WRITE_BURST
+
+    metrics = telemetry.enable()
+    simulator = Simulator("power", engine="auto")
+    verdict_small = simulator.verdict(small)
+    verdict_stress = simulator.verdict(stress)
+    counters = metrics.snapshot().counters
+    telemetry.disable()
+    assert counters["herd.runs.pruning"] == 1
+    assert counters["herd.runs.optimal"] == 1
+
+    # Parity: the routing choice never changes the answer.
+    for engine in ("pruning", "optimal"):
+        assert Simulator("power", engine=engine).verdict(small) == verdict_small
+        assert Simulator("power", engine=engine).verdict(stress) == verdict_stress
+    assert Simulator("power", engine="naive").verdict(small) == verdict_small
+
+
+def test_write_burst_is_conservative_on_unresolvable_addresses():
+    from repro.litmus.ast import LitmusTest
+    from repro.litmus.instructions import MoveImmediate, Store
+    from repro.herd.simulator import write_burst
+
+    computed = LitmusTest(
+        name="computed-address",
+        arch="power",
+        threads=[
+            [
+                MoveImmediate(dst="r1", value=1),
+                Store(src="r1", addr_reg="r9", index_reg=None),
+                Store(src="r1", addr_reg="r9", index_reg=None),
+                Store(src="r1", addr_reg="r9", index_reg=None),
+                Store(src="r1", addr_reg="r9", index_reg=None),
+            ]
+        ],
+        init_registers={},
+    )
+    assert write_burst(computed) == 0

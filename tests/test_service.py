@@ -645,3 +645,112 @@ def test_http_helpers_roundtrip():
     assert caught.value.status == 400
     with pytest.raises(HttpError):
         Request(method="POST", path="/verdict", body=b"").json()
+
+
+# -- model comparison and verdict memoization ------------------------------------
+
+
+def test_compare_endpoint_streams_tests_then_summary():
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        response = client.compare("tso", "power", deadline=120.0, events=4)
+        assert response.ok
+        summary = response.summary
+        assert summary is not None
+        assert summary["verdict"] == "incomparable"
+        assert summary["witness_a"]["test"] == "r+syncs"
+        assert "sb+syncs" in summary["distinguishing"]
+        assert summary["truncated"] is False
+        # One NDJSON line per corpus test, plus the summary line.
+        assert len(response.results) == summary["num_tests"] + 1
+        per_test = response.results[:-1]
+        assert all(line["status"] == "ok" for line in per_test)
+        sample = per_test[0]["verdicts"]
+        assert set(sample) == {"tso", "power"}
+
+        # The whole corpus memoized: a second identical comparison
+        # answers every line from the verdict cache without enqueueing.
+        again = client.compare("tso", "power", deadline=120.0, events=4)
+        assert again.ok
+        modes = {
+            line["mode"] for line in again.results if line.get("status") == "ok"
+        }
+        assert modes == {"cache"}
+        assert again.summary["verdict"] == "incomparable"
+
+        # Cross-pollination: each half of a comparison pair seeds the
+        # single-model cache, so a later /verdict hits too.
+        verdict = client.verdict(["sb+syncs"], model="tso", deadline=60.0)
+        assert verdict.ok
+        assert verdict.results[0]["mode"] == "cache"
+
+        cache = client.stats()["service"]["verdict_cache"]
+        assert cache["hits"] >= summary["num_tests"]
+        assert cache["entries"] > 0
+
+
+def test_compare_clamps_the_corpus_and_flags_truncation():
+    config = ServiceConfig(port=0, compare_max_tests=20)
+    with make_service(config=config) as handle:
+        client = ServiceClient(*handle.address)
+        response = client.compare("tso", "power", deadline=120.0, events=4)
+        assert response.ok
+        summary = response.summary
+        assert summary["num_tests"] == 20
+        assert summary["truncated"] is True
+        assert summary["budget"]["limit"] == 20
+
+
+def test_compare_rejects_bad_requests():
+    with make_service(processes=1) as handle:
+        client = ServiceClient(*handle.address)
+        only_one = client.compare("tso", "tso")
+        assert only_one.ok  # self-comparison is legal
+        bad = ServiceClient(*handle.address)
+        response = bad._request(
+            "POST", "/compare", body=b'{"models": ["tso"]}'
+        )
+        assert response.status == 400
+        response = bad._request(
+            "POST",
+            "/compare",
+            body=b'{"models": ["tso", "nosuchmodel"]}',
+        )
+        assert response.status == 400
+        response = bad._request(
+            "POST",
+            "/compare",
+            body=b'{"models": ["tso", "power"], "budget": {"bogus": 1}}',
+        )
+        assert response.status == 400
+
+
+def test_verdict_memoization_survives_requests_and_is_observable():
+    with make_service() as handle:
+        client = ServiceClient(*handle.address)
+        first = client.verdict(["sb", "mp"], model="power", deadline=60.0)
+        assert first.ok
+        assert all(line["mode"] != "cache" for line in first.results)
+        second = client.verdict(["sb", "mp"], model="power", deadline=60.0)
+        assert second.ok
+        assert all(line["mode"] == "cache" for line in second.results)
+        assert [line["verdict"] for line in second.results] == [
+            line["verdict"] for line in first.results
+        ]
+        # A different model misses: the key includes the model name.
+        other = client.verdict(["sb"], model="tso", deadline=60.0)
+        assert other.results[0]["mode"] != "cache"
+        cache = client.stats()["service"]["verdict_cache"]
+        assert cache["hits"] == 2
+        assert cache["entries"] == 3
+
+
+def test_verdict_cache_can_be_disabled():
+    config = ServiceConfig(port=0, verdict_cache_size=0)
+    with make_service(processes=1, config=config) as handle:
+        client = ServiceClient(*handle.address)
+        for _ in range(2):
+            response = client.verdict(["sb"], model="power", deadline=60.0)
+            assert response.ok
+            assert response.results[0]["mode"] != "cache"
+        assert client.stats()["service"]["verdict_cache"] is None
